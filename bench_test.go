@@ -1,0 +1,206 @@
+package sdpolicy
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section (DESIGN.md §5 maps each to its experiment). Each
+// benchmark regenerates its artefact on a scaled-down workload per
+// iteration and reports the headline quantities via b.ReportMetric, so
+// `go test -bench . -benchmem` both times the simulator and prints the
+// reproduced results. EXPERIMENTS.md records full-scale paper-vs-measured
+// numbers produced by cmd/sdexp.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchScale keeps a single benchmark iteration in the tens of
+// milliseconds; cmd/sdexp runs the same experiments at larger scales.
+const benchScale = 0.05
+
+func BenchmarkTable1_Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Table1(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.AvgSlowdown, r.ID+"-slowdown")
+			}
+		}
+	}
+}
+
+func BenchmarkTable2_AppMix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Table2(1.0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.SharePct, r.App+"-pct")
+			}
+		}
+	}
+}
+
+func BenchmarkFig1to3_MaxSDSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := SweepMaxSD([]string{"wl1", "wl2", "wl3", "wl4"}, benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Variant == "MAXSD 10" {
+					b.ReportMetric(r.AvgSlowdown, r.Workload+"-sd10-slowdown-norm")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig4to6_Heatmaps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		an, err := AnalyzeBigWorkload(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// headline: overall slowdown improvement of the analysed run
+			b.ReportMetric(an.Static.AvgSlowdown/an.SD.AvgSlowdown, "wl4-slowdown-ratio")
+		}
+	}
+}
+
+func BenchmarkFig7_Daily(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		an, err := AnalyzeBigWorkload(benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(an.SD.MalleableStarts)/float64(an.SD.Jobs)*100, "mall-starts-pct")
+			b.ReportMetric(float64(len(an.SDDaily)), "days")
+		}
+	}
+}
+
+func BenchmarkFig8_RuntimeModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := CompareRuntimeModels([]string{"wl1", "wl2", "wl3", "wl4"}, benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.AvgResponse, fmt.Sprintf("%s-%s-resp-norm", r.Workload, r.Model))
+			}
+		}
+	}
+}
+
+func BenchmarkFig9_RealRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := RealRunExperiment(0.25, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rep.MakespanPct, "makespan-improv-pct")
+			b.ReportMetric(rep.AvgSlowdownPct, "slowdown-improv-pct")
+			b.ReportMetric(rep.EnergyPct, "energy-improv-pct")
+		}
+	}
+}
+
+// Ablation benchmarks for the design choices DESIGN.md §7 calls out.
+
+func BenchmarkAblation_SharingFactor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := AblateSharingFactor("wl1", benchScale, 1, []float64{0.25, 0.5, 0.75})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.AvgSlowdown, "sf"+r.Value+"-slowdown-norm")
+			}
+		}
+	}
+}
+
+func BenchmarkAblation_MaxMates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := AblateMaxMates("wl1", benchScale, 1, []int{1, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.AvgSlowdown, "m"+r.Value+"-slowdown-norm")
+			}
+		}
+	}
+}
+
+func BenchmarkAblation_MalleableFraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := AblateMalleableFraction("wl1", benchScale, 1, []float64{0.25, 0.5, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.AvgSlowdown, "frac"+r.Value+"-slowdown-norm")
+			}
+		}
+	}
+}
+
+func BenchmarkAblation_FreeNodeMixing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := AblateFreeNodeMixing("wl1", benchScale, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.AvgSlowdown, "mix-"+r.Value+"-slowdown-norm")
+			}
+		}
+	}
+}
+
+// Microbenchmarks of the simulator itself: scheduling throughput.
+
+func BenchmarkSimulator_StaticBackfill(b *testing.B) {
+	w, err := NewWorkload("wl4", 0.02, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(w, Options{Policy: "static"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Jobs)/b.Elapsed().Seconds(), "jobs/s-first-iter")
+		}
+	}
+}
+
+func BenchmarkSimulator_SDPolicy(b *testing.B) {
+	w, err := NewWorkload("wl4", 0.02, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(w, Options{Policy: "sd", MaxSlowdown: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Command sdexp regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §5 for the experiment index):
+//
+//	table1  workload inventory + static baseline aggregates
+//	table2  real-run application mix
+//	fig1-3  makespan / response / slowdown vs MAX_SLOWDOWN, WL1-4
+//	fig4-6  category heatmaps static/SD on the Curie-like workload
+//	fig7    per-day slowdown series + malleable starts
+//	fig8    ideal vs worst-case runtime model
+//	fig9    real-run emulation (application model + energy)
+//	ablations  design-choice sweeps (sharing factor, max mates,
+//	           malleable fraction, free-node mixing)
+//
+// The default -scale 0.1 keeps the full suite in the minutes range;
+// -scale 1 reproduces the paper's full workload sizes (wl4 alone then
+// simulates 198509 jobs and takes correspondingly long).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sdpolicy"
+	"sdpolicy/internal/viz"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: all | table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | ablations")
+		scale  = flag.Float64("scale", 0.1, "workload scale factor (0,1]")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		outDir = flag.String("out", "", "also write each experiment's output under this directory")
+	)
+	flag.Parse()
+
+	runner := &runner{scale: *scale, seed: *seed, outDir: *outDir}
+	if err := runner.run(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, "sdexp:", err)
+		os.Exit(1)
+	}
+}
+
+type runner struct {
+	scale  float64
+	seed   uint64
+	outDir string
+}
+
+func (r *runner) run(exp string) error {
+	type experiment struct {
+		name string
+		fn   func(io.Writer) error
+	}
+	all := []experiment{
+		{"table1", r.table1},
+		{"table2", r.table2},
+		{"fig1-3", r.figs123},
+		{"fig4-6", r.figs456},
+		{"fig7", r.fig7},
+		{"fig8", r.fig8},
+		{"fig9", r.fig9},
+		{"ablations", r.ablations},
+	}
+	selected := map[string][]experiment{
+		"all":       all,
+		"table1":    {all[0]},
+		"table2":    {all[1]},
+		"fig1":      {all[2]},
+		"fig2":      {all[2]},
+		"fig3":      {all[2]},
+		"fig4":      {all[3]},
+		"fig5":      {all[3]},
+		"fig6":      {all[3]},
+		"fig7":      {all[4]},
+		"fig8":      {all[5]},
+		"fig9":      {all[6]},
+		"ablations": {all[7]},
+	}[exp]
+	if selected == nil {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	for _, e := range selected {
+		start := time.Now()
+		var sink io.Writer = os.Stdout
+		var file *os.File
+		if r.outDir != "" {
+			if err := os.MkdirAll(r.outDir, 0o755); err != nil {
+				return err
+			}
+			var err error
+			file, err = os.Create(filepath.Join(r.outDir, e.name+".txt"))
+			if err != nil {
+				return err
+			}
+			sink = io.MultiWriter(os.Stdout, file)
+		}
+		fmt.Fprintf(sink, "==== %s (scale %.2f, seed %d) ====\n", e.name, r.scale, r.seed)
+		if err := e.fn(sink); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Fprintf(sink, "[%s done in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		if file != nil {
+			file.Close()
+		}
+	}
+	return nil
+}
+
+func (r *runner) table1(w io.Writer) error {
+	rows, err := sdpolicy.Table1(r.scale, r.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-5s %-16s %8s %7s %8s %8s %14s %14s %12s\n",
+		"ID", "Log/model", "#jobs", "nodes", "cores", "max-job", "avg-resp(s)", "avg-slowdown", "makespan(s)")
+	for _, t := range rows {
+		fmt.Fprintf(w, "%-5s %-16s %8d %7d %8d %8d %14.1f %14.1f %12d\n",
+			t.ID, t.Name, t.Jobs, t.Nodes, t.Cores, t.MaxJobNodes,
+			t.AvgResponse, t.AvgSlowdown, t.Makespan)
+	}
+	return nil
+}
+
+func (r *runner) table2(w io.Writer) error {
+	rows, err := sdpolicy.Table2(r.scale, r.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %10s %10s\n", "Application", "share(%)", "paper(%)")
+	paper := map[string]float64{"PILS": 30.5, "STREAM": 30.8, "CoreNeuron": 35.5, "NEST": 2.6, "Alya": 0.6}
+	for _, t := range rows {
+		fmt.Fprintf(w, "%-12s %10.1f %10.1f\n", t.App, t.SharePct, paper[t.App])
+	}
+	return nil
+}
+
+func (r *runner) figs123(w io.Writer) error {
+	rows, err := sdpolicy.SweepMaxSD([]string{"wl1", "wl2", "wl3", "wl4"}, r.scale, r.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "values normalised to the static backfill baseline (1.00 = equal)")
+	fmt.Fprintf(w, "%-5s %-10s %10s %10s %10s %10s\n",
+		"WL", "variant", "makespan", "response", "slowdown", "mall-jobs")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-5s %-10s %10.3f %10.3f %10.3f %10d\n",
+			row.Workload, row.Variant, row.Makespan, row.AvgResponse,
+			row.AvgSlowdown, row.MalleableStarts)
+	}
+	fmt.Fprintln(w)
+	charts := []struct {
+		title string
+		pick  func(sdpolicy.SweepRow) float64
+	}{
+		{"Figure 1: makespan normalised to static backfill ('|' = 1.0)", func(x sdpolicy.SweepRow) float64 { return x.Makespan }},
+		{"Figure 2: avg response time normalised to static backfill", func(x sdpolicy.SweepRow) float64 { return x.AvgResponse }},
+		{"Figure 3: avg slowdown normalised to static backfill", func(x sdpolicy.SweepRow) float64 { return x.AvgSlowdown }},
+	}
+	for _, c := range charts {
+		var bars []viz.Bar
+		for _, row := range rows {
+			bars = append(bars, viz.Bar{Label: row.Workload + " " + row.Variant, Value: c.pick(row)})
+		}
+		viz.HBar(w, c.title, bars, viz.HBarConfig{Width: 40, Reference: 1.0})
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func (r *runner) figs456(w io.Writer) error {
+	an, err := sdpolicy.AnalyzeBigWorkload(r.scale, r.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wl4: static slowdown %.1f vs SD(MAXSD 10) %.1f (%.1f%% reduction)\n",
+		an.Static.AvgSlowdown, an.SD.AvgSlowdown,
+		100*(an.Static.AvgSlowdown-an.SD.AvgSlowdown)/an.Static.AvgSlowdown)
+	printHeatmap(w, "Figure 4: slowdown ratio static/SD per job category", an.SlowdownRatio)
+	printHeatmap(w, "Figure 5: runtime ratio static/SD per job category", an.RunTimeRatio)
+	printHeatmap(w, "Figure 6: wait-time ratio static/SD per job category", an.WaitRatio)
+	return nil
+}
+
+func printHeatmap(w io.Writer, title string, cells [][]float64) {
+	nodeLabels, timeLabels := sdpolicy.HeatmapLabels()
+	viz.Heat(w, title, nodeLabels, timeLabels, cells)
+	fmt.Fprintln(w)
+}
+
+func (r *runner) fig7(w io.Writer) error {
+	an, err := sdpolicy.AnalyzeBigWorkload(r.scale, r.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "malleable starts %d (%.1f%% of jobs), mates %d (%.1f%%)\n",
+		an.SD.MalleableStarts, 100*float64(an.SD.MalleableStarts)/float64(an.SD.Jobs),
+		an.SD.Mates, 100*float64(an.SD.Mates)/float64(an.SD.Jobs))
+	sdByDay := map[int]sdpolicy.DayPoint{}
+	for _, d := range an.SDDaily {
+		sdByDay[d.Day] = d
+	}
+	fmt.Fprintf(w, "%-5s %12s %12s %12s\n", "day", "static-sd", "sdpolicy-sd", "mall-starts")
+	lastDay := 0
+	for _, d := range an.StaticDaily {
+		sd := sdByDay[d.Day]
+		fmt.Fprintf(w, "%-5d %12.1f %12.1f %12d\n", d.Day, d.AvgSlowdown, sd.AvgSlowdown, sd.MalleableStarts)
+		if d.Day > lastDay {
+			lastDay = d.Day
+		}
+	}
+	static := make([]float64, lastDay+1)
+	sdpts := make([]float64, lastDay+1)
+	for i := range static {
+		static[i], sdpts[i] = math.NaN(), math.NaN()
+	}
+	for _, d := range an.StaticDaily {
+		static[d.Day] = d.AvgSlowdown
+	}
+	for _, d := range an.SDDaily {
+		sdpts[d.Day] = d.AvgSlowdown
+	}
+	fmt.Fprintln(w)
+	viz.Plot(w, "Figure 7: per-day average slowdown (x = day)", 12, []viz.Series{
+		{Name: "static backfill", Points: static},
+		{Name: "SD-Policy MAXSD 10", Points: sdpts},
+	})
+	return nil
+}
+
+func (r *runner) fig8(w io.Writer) error {
+	rows, err := sdpolicy.CompareRuntimeModels([]string{"wl1", "wl2", "wl3", "wl4"}, r.scale, r.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "SD-Policy DynAVGSD normalised to static backfill, per runtime model")
+	fmt.Fprintf(w, "%-5s %-7s %10s %10s %10s\n", "WL", "model", "makespan", "response", "slowdown")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-5s %-7s %10.3f %10.3f %10.3f\n",
+			row.Workload, row.Model, row.Makespan, row.AvgResponse, row.AvgSlowdown)
+	}
+	return nil
+}
+
+func (r *runner) fig9(w io.Writer) error {
+	rep, err := sdpolicy.RealRunExperiment(r.scale, r.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "improvement of SD-Policy over static backfill (positive = better):")
+	fmt.Fprintf(w, "%-14s %10s %10s\n", "metric", "ours(%)", "paper(%)")
+	fmt.Fprintf(w, "%-14s %10.1f %10.1f\n", "makespan", rep.MakespanPct, 7.0)
+	fmt.Fprintf(w, "%-14s %10.1f %10.1f\n", "avg response", rep.AvgResponsePct, 16.0)
+	fmt.Fprintf(w, "%-14s %10.1f %10.1f\n", "avg slowdown", rep.AvgSlowdownPct, 16.0)
+	fmt.Fprintf(w, "%-14s %10.1f %10.1f\n", "energy", rep.EnergyPct, 6.0)
+	fmt.Fprintf(w, "malleable starts: %d of %d jobs\n", rep.SD.MalleableStarts, rep.SD.Jobs)
+	return nil
+}
+
+func (r *runner) ablations(w io.Writer) error {
+	var all []sdpolicy.AblationRow
+	sf, err := sdpolicy.AblateSharingFactor("wl1", r.scale, r.seed, []float64{0.25, 0.5, 0.75})
+	if err != nil {
+		return err
+	}
+	all = append(all, sf...)
+	mm, err := sdpolicy.AblateMaxMates("wl1", r.scale, r.seed, []int{1, 2, 3, 4})
+	if err != nil {
+		return err
+	}
+	all = append(all, mm...)
+	mf, err := sdpolicy.AblateMalleableFraction("wl1", r.scale, r.seed, []float64{0, 0.25, 0.5, 0.75, 1})
+	if err != nil {
+		return err
+	}
+	all = append(all, mf...)
+	fn, err := sdpolicy.AblateFreeNodeMixing("wl1", r.scale, r.seed)
+	if err != nil {
+		return err
+	}
+	all = append(all, fn...)
+	pc, err := sdpolicy.ComparePolicies("wl1", r.scale, r.seed)
+	if err != nil {
+		return err
+	}
+	all = append(all, pc...)
+	fmt.Fprintln(w, "wl1, normalised to static backfill (lower is better)")
+	fmt.Fprintf(w, "%-20s %-8s %10s %10s %10s\n", "parameter", "value", "slowdown", "response", "makespan")
+	last := ""
+	for _, row := range all {
+		if row.Parameter != last {
+			fmt.Fprintln(w, strings.Repeat("-", 62))
+			last = row.Parameter
+		}
+		fmt.Fprintf(w, "%-20s %-8s %10.3f %10.3f %10.3f\n",
+			row.Parameter, row.Value, row.AvgSlowdown, row.AvgResponse, row.Makespan)
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+// Command sdsim runs one workload under one scheduling policy and prints
+// the evaluation metrics of the paper (makespan, average response time,
+// average slowdown, energy, malleability counters).
+//
+// Examples:
+//
+//	sdsim -wl wl1 -scale 0.25 -policy sd -maxsd 10
+//	sdsim -wl wl4 -scale 0.1 -policy sd -maxsd dyn -model worst
+//	sdsim -swf trace.swf -cores-per-node 16 -nodes 5040 -policy static
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+
+	"sdpolicy/internal/apps"
+	"sdpolicy/internal/cluster"
+	"sdpolicy/internal/job"
+	"sdpolicy/internal/model"
+	"sdpolicy/internal/sched"
+	"sdpolicy/internal/swf"
+	"sdpolicy/internal/trace"
+	"sdpolicy/internal/workload"
+)
+
+func main() {
+	var (
+		wlName    = flag.String("wl", "wl5", "workload preset: wl1..wl5")
+		swfPath   = flag.String("swf", "", "load an SWF trace instead of a preset")
+		nodes     = flag.Int("nodes", 0, "machine nodes when loading SWF")
+		cpn       = flag.Int("cores-per-node", 48, "cores per node when loading SWF")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor (0,1]")
+		seed      = flag.Uint64("seed", 1, "workload generator seed")
+		policy    = flag.String("policy", "static", "policy: static | sd | oversub")
+		maxsd     = flag.String("maxsd", "inf", "MAX_SLOWDOWN: number, inf, dyn, dyn-median, dyn-p70")
+		mdl       = flag.String("model", "ideal", "runtime model: ideal | worst | app")
+		sf        = flag.Float64("sf", 0.5, "sharing factor")
+		mates     = flag.Int("mates", 2, "max mates per malleable start")
+		depth     = flag.Int("depth", 100, "backfill depth")
+		freeMix   = flag.Bool("free", false, "allow mixing free nodes into mate selections")
+		mallFrac  = flag.Float64("malleable", -1, "override malleable job fraction (0..1)")
+		verbose   = flag.Bool("v", false, "print per-day series and heatmap summaries")
+		traceFile = flag.String("trace", "", "write a CSV scheduling-event trace to this file")
+		timeline  = flag.String("timeline", "", "write a CSV core-usage timeline to this file")
+	)
+	flag.Parse()
+
+	spec, err := loadWorkload(*wlName, *swfPath, *nodes, *cpn, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdsim:", err)
+		os.Exit(1)
+	}
+	if *mallFrac >= 0 {
+		workload.SetMalleableFraction(&spec, *mallFrac)
+	}
+
+	cfg, err := buildConfig(*policy, *maxsd, *mdl, *sf, *mates, *depth, *freeMix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdsim:", err)
+		os.Exit(1)
+	}
+	var rec *trace.Recorder
+	if *traceFile != "" || *timeline != "" {
+		rec = trace.NewRecorder()
+		cfg.Observer = rec
+	}
+
+	res, err := sched.Run(spec, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdsim:", err)
+		os.Exit(1)
+	}
+	printResult(&spec, res, *verbose)
+	if rec != nil {
+		if err := writeTraces(rec, *traceFile, *timeline); err != nil {
+			fmt.Fprintln(os.Stderr, "sdsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("utilization   %.1f%% of cores over the run\n",
+			100*rec.MeanUtilization(spec.Cluster.TotalCores()))
+	}
+}
+
+func writeTraces(rec *trace.Recorder, traceFile, timeline string) error {
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			return err
+		}
+	}
+	if timeline != "" {
+		f, err := os.Create(timeline)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteTimelineCSV(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadWorkload(preset, swfPath string, nodes, cpn int, scale float64, seed uint64) (workload.Spec, error) {
+	if swfPath == "" {
+		return workload.ByName(preset, scale, seed)
+	}
+	f, err := os.Open(swfPath)
+	if err != nil {
+		return workload.Spec{}, err
+	}
+	defer f.Close()
+	recs, err := swf.Parse(f)
+	if err != nil {
+		return workload.Spec{}, err
+	}
+	jobs := swf.ToJobs(recs, cpn, job.Malleable)
+	workload.SortBySubmit(jobs)
+	if nodes <= 0 {
+		return workload.Spec{}, fmt.Errorf("-nodes required with -swf")
+	}
+	return workload.Spec{
+		Name:    swfPath,
+		Cluster: cluster.Config{Nodes: nodes, Sockets: 2, CoresPerSocket: (cpn + 1) / 2},
+		Jobs:    jobs,
+	}, nil
+}
+
+func buildConfig(policy, maxsd, mdl string, sf float64, mates, depth int, freeMix bool) (sched.Config, error) {
+	cfg := sched.Defaults()
+	switch policy {
+	case "static":
+		cfg.Policy = sched.StaticBackfill
+	case "sd":
+		cfg.Policy = sched.SDPolicy
+	case "oversub":
+		cfg.Policy = sched.Oversubscribe
+		cfg.OversubPenalty = 0.15
+	default:
+		return cfg, fmt.Errorf("unknown policy %q", policy)
+	}
+	switch maxsd {
+	case "inf":
+		cfg.MaxSlowdown = math.Inf(1)
+	case "dyn":
+		cfg.Cutoff = sched.CutoffDynAvg
+	case "dyn-median":
+		cfg.Cutoff = sched.CutoffDynMedian
+	case "dyn-p70":
+		cfg.Cutoff = sched.CutoffDynP70
+	default:
+		v, err := strconv.ParseFloat(maxsd, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad -maxsd %q", maxsd)
+		}
+		cfg.MaxSlowdown = v
+	}
+	switch mdl {
+	case "ideal":
+		cfg.RuntimeModel = model.Ideal
+	case "worst":
+		cfg.RuntimeModel = model.WorstCase
+	case "app":
+		cfg.RuntimeModel = model.App
+		cfg.Speedups = apps.SpeedupProvider
+	default:
+		return cfg, fmt.Errorf("unknown model %q", mdl)
+	}
+	cfg.SharingFactor = sf
+	cfg.MaxMates = mates
+	cfg.BackfillDepth = depth
+	cfg.IncludeFreeNodes = freeMix
+	return cfg, nil
+}
+
+func printResult(spec *workload.Spec, res *sched.Result, verbose bool) {
+	rep := &res.Report
+	fmt.Printf("workload      %s (%d jobs, %d nodes x %d cores)\n",
+		res.Workload, len(spec.Jobs), spec.Cluster.Nodes, spec.Cluster.CoresPerNode())
+	fmt.Printf("policy        %s\n", res.Policy)
+	fmt.Printf("makespan      %d s\n", rep.Makespan())
+	fmt.Printf("avg response  %.1f s\n", rep.AvgResponse())
+	fmt.Printf("avg wait      %.1f s\n", rep.AvgWait())
+	fmt.Printf("avg slowdown  %.1f\n", rep.AvgSlowdown())
+	fmt.Printf("energy        %.1f kWh\n", res.EnergyJoules/3.6e6)
+	fmt.Printf("malleable     %d starts (%.1f%%), %d mates (%.1f%%)\n",
+		res.MalleableStarts, 100*float64(res.MalleableStarts)/float64(len(spec.Jobs)),
+		res.Mates, 100*float64(res.Mates)/float64(len(spec.Jobs)))
+	fmt.Printf("drom          %d registered, %d mask sets\n", res.DROM.Registered, res.DROM.MaskSets)
+	fmt.Printf("sim           %d events, %d passes\n", res.Events, res.Passes)
+	if !verbose {
+		return
+	}
+	fmt.Println("\nper-day slowdown:")
+	for _, d := range rep.Daily() {
+		fmt.Printf("  day %3d  jobs %6d  avg-slowdown %10.1f  malleable %5d\n",
+			d.Day, d.Jobs, d.AvgSlowdown, d.MalleableStarts)
+	}
+}

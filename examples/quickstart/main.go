@@ -1,0 +1,42 @@
+// Quickstart: simulate one workload under static backfill and under
+// SD-Policy, and compare the headline metrics of the paper.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdpolicy"
+)
+
+func main() {
+	// The real-run workload of Table 1 (49 nodes, 2352 cores), scaled to
+	// half size so the example finishes in about a second.
+	w, err := sdpolicy.NewWorkload("wl5", 0.5, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d jobs on %d nodes (%d cores)\n\n",
+		w.Name(), w.Jobs(), w.Nodes(), w.Cores())
+
+	static, err := sdpolicy.Simulate(w, sdpolicy.Options{Policy: "static"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sd, err := sdpolicy.Simulate(w, sdpolicy.Options{Policy: "sd", MaxSlowdown: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %14s %14s\n", "metric", "static", "sd-policy")
+	fmt.Printf("%-22s %14d %14d\n", "makespan (s)", static.Makespan, sd.Makespan)
+	fmt.Printf("%-22s %14.1f %14.1f\n", "avg response (s)", static.AvgResponse, sd.AvgResponse)
+	fmt.Printf("%-22s %14.1f %14.1f\n", "avg slowdown", static.AvgSlowdown, sd.AvgSlowdown)
+	fmt.Printf("%-22s %14.1f %14.1f\n", "energy (kWh)", static.EnergyKWh, sd.EnergyKWh)
+	fmt.Printf("\nSD-Policy co-scheduled %d jobs (%.1f%%) using %d mates\n",
+		sd.MalleableStarts, 100*float64(sd.MalleableStarts)/float64(sd.Jobs), sd.Mates)
+	fmt.Printf("slowdown reduction: %.1f%%\n",
+		100*(static.AvgSlowdown-sd.AvgSlowdown)/static.AvgSlowdown)
+}

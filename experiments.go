@@ -1,0 +1,402 @@
+package sdpolicy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Variant is one labelled scheduler configuration of an experiment sweep.
+type Variant struct {
+	Label   string
+	Options Options
+}
+
+// MaxSDVariants returns the Figures 1-3 configurations: MAXSD 5, 10, 50,
+// infinite, and the dynamic feedback cut-off DynAVGSD. All use
+// SharingFactor 0.5 and the ideal runtime model, as in Section 4.1.
+func MaxSDVariants() []Variant {
+	return []Variant{
+		{"MAXSD 5", Options{Policy: "sd", MaxSlowdown: 5}},
+		{"MAXSD 10", Options{Policy: "sd", MaxSlowdown: 10}},
+		{"MAXSD 50", Options{Policy: "sd", MaxSlowdown: 50}},
+		{"MAXSD inf", Options{Policy: "sd"}},
+		{"DynAVGSD", Options{Policy: "sd", DynamicCutoff: "avg"}},
+	}
+}
+
+// SweepRow is one (workload, variant) point of Figures 1-3, normalised
+// to the static backfill baseline of the same workload: 1.0 means equal,
+// below 1.0 means the SD configuration improved the metric.
+type SweepRow struct {
+	Workload        string
+	Variant         string
+	Makespan        float64
+	AvgResponse     float64
+	AvgSlowdown     float64
+	MalleableStarts int
+}
+
+// SweepMaxSD regenerates Figures 1-3: for each workload, the static
+// baseline and every MAX_SLOWDOWN variant, reporting normalised
+// makespan, response and slowdown.
+func SweepMaxSD(workloads []string, scale float64, seed uint64) ([]SweepRow, error) {
+	var rows []SweepRow
+	for _, name := range workloads {
+		w, err := NewWorkload(name, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		base, err := Simulate(w, Options{Policy: "static"})
+		if err != nil {
+			return nil, fmt.Errorf("%s static: %w", name, err)
+		}
+		for _, v := range MaxSDVariants() {
+			res, err := Simulate(w, v.Options)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", name, v.Label, err)
+			}
+			rows = append(rows, SweepRow{
+				Workload:        name,
+				Variant:         v.Label,
+				Makespan:        ratio(float64(res.Makespan), float64(base.Makespan)),
+				AvgResponse:     ratio(res.AvgResponse, base.AvgResponse),
+				AvgSlowdown:     ratio(res.AvgSlowdown, base.AvgSlowdown),
+				MalleableStarts: res.MalleableStarts,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// ModelRow is one Figure 8 point: an SD-Policy DynAVGSD run under one
+// runtime model, normalised to the static baseline under the same model.
+type ModelRow struct {
+	Workload    string
+	Model       string
+	Makespan    float64
+	AvgResponse float64
+	AvgSlowdown float64
+}
+
+// CompareRuntimeModels regenerates Figure 8: SD-Policy with the dynamic
+// cut-off under the ideal and the worst-case runtime models.
+func CompareRuntimeModels(workloads []string, scale float64, seed uint64) ([]ModelRow, error) {
+	var rows []ModelRow
+	for _, name := range workloads {
+		w, err := NewWorkload(name, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, mdl := range []string{"ideal", "worst"} {
+			base, err := Simulate(w, Options{Policy: "static", Model: mdl})
+			if err != nil {
+				return nil, err
+			}
+			res, err := Simulate(w, Options{Policy: "sd", DynamicCutoff: "avg", Model: mdl})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ModelRow{
+				Workload:    name,
+				Model:       mdl,
+				Makespan:    ratio(float64(res.Makespan), float64(base.Makespan)),
+				AvgResponse: ratio(res.AvgResponse, base.AvgResponse),
+				AvgSlowdown: ratio(res.AvgSlowdown, base.AvgSlowdown),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// BigAnalysis is the Section 4.2 study of the large workload (Figures
+// 4-7): static vs SD-Policy MAXSD 10 on the Curie-like trace, with
+// category heatmaps and per-day series.
+type BigAnalysis struct {
+	Static *Result
+	SD     *Result
+	// Ratios are static/SD means per (node bucket × runtime bucket):
+	// above 1.0 means SD improved that category (Figures 4-6).
+	SlowdownRatio [][]float64
+	RunTimeRatio  [][]float64
+	WaitRatio     [][]float64
+	// Daily series of both runs (Figure 7).
+	StaticDaily []DayPoint
+	SDDaily     []DayPoint
+}
+
+// AnalyzeBigWorkload regenerates Figures 4-7 on the wl4 Curie-like
+// workload with the paper's best static cut-off (MAXSD 10).
+func AnalyzeBigWorkload(scale float64, seed uint64) (*BigAnalysis, error) {
+	w, err := NewWorkload("wl4", scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	static, err := Simulate(w, Options{Policy: "static"})
+	if err != nil {
+		return nil, err
+	}
+	sd, err := Simulate(w, Options{Policy: "sd", MaxSlowdown: 10})
+	if err != nil {
+		return nil, err
+	}
+	return &BigAnalysis{
+		Static:        static,
+		SD:            sd,
+		SlowdownRatio: static.HeatmapRatio(sd, HeatSlowdown),
+		RunTimeRatio:  static.HeatmapRatio(sd, HeatRunTime),
+		WaitRatio:     static.HeatmapRatio(sd, HeatWait),
+		StaticDaily:   static.Daily(),
+		SDDaily:       sd.Daily(),
+	}, nil
+}
+
+// RealRunReport is the Figure 9 comparison on the application workload:
+// improvement percentages of SD-Policy over static backfill.
+type RealRunReport struct {
+	Static *Result
+	SD     *Result
+	// Improvements in percent (positive = SD better), Figure 9's bars.
+	MakespanPct    float64
+	AvgResponsePct float64
+	AvgSlowdownPct float64
+	EnergyPct      float64
+}
+
+// RealRunExperiment regenerates Figure 9: the wl5 application mix under
+// the contention-aware App runtime model, static vs SD-Policy.
+func RealRunExperiment(scale float64, seed uint64) (*RealRunReport, error) {
+	w, err := NewWorkload("wl5", scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	static, err := Simulate(w, Options{Policy: "static", Model: "app"})
+	if err != nil {
+		return nil, err
+	}
+	sd, err := Simulate(w, Options{Policy: "sd", DynamicCutoff: "avg", Model: "app"})
+	if err != nil {
+		return nil, err
+	}
+	return &RealRunReport{
+		Static:         static,
+		SD:             sd,
+		MakespanPct:    improvement(float64(static.Makespan), float64(sd.Makespan)),
+		AvgResponsePct: improvement(static.AvgResponse, sd.AvgResponse),
+		AvgSlowdownPct: improvement(static.AvgSlowdown, sd.AvgSlowdown),
+		EnergyPct:      improvement(static.EnergyKWh, sd.EnergyKWh),
+	}, nil
+}
+
+// Table1Row is one workload inventory line of Table 1, with the
+// static-backfill aggregates measured by simulation.
+type Table1Row struct {
+	ID          string
+	Name        string
+	Jobs        int
+	Nodes       int
+	Cores       int
+	MaxJobNodes int
+	AvgResponse float64
+	AvgSlowdown float64
+	Makespan    int64
+}
+
+// Table1 regenerates the Table 1 inventory by building every preset and
+// measuring its static-backfill baseline.
+func Table1(scale float64, seed uint64) ([]Table1Row, error) {
+	names := []string{"wl1", "wl2", "wl3", "wl4", "wl5"}
+	rows := make([]Table1Row, 0, len(names))
+	for _, name := range names {
+		w, err := NewWorkload(name, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Simulate(w, Options{Policy: "static"})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			ID: name, Name: w.Name(), Jobs: w.Jobs(),
+			Nodes: w.Nodes(), Cores: w.Cores(), MaxJobNodes: w.MaxJobNodes(),
+			AvgResponse: res.AvgResponse, AvgSlowdown: res.AvgSlowdown,
+			Makespan: res.Makespan,
+		})
+	}
+	return rows, nil
+}
+
+// Table2Row is one application line of Table 2.
+type Table2Row struct {
+	App      string
+	SharePct float64
+}
+
+// Table2 regenerates the Table 2 application mix from the generated wl5
+// workload.
+func Table2(scale float64, seed uint64) ([]Table2Row, error) {
+	w, err := NewWorkload("wl5", scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	shares := w.AppShares()
+	order := []string{"PILS", "STREAM", "CoreNeuron", "NEST", "Alya"}
+	rows := make([]Table2Row, 0, len(order))
+	for _, app := range order {
+		rows = append(rows, Table2Row{App: app, SharePct: 100 * shares[app]})
+	}
+	return rows, nil
+}
+
+// AblationRow is one point of a design-choice sweep.
+type AblationRow struct {
+	Parameter   string
+	Value       string
+	AvgSlowdown float64 // normalised to static backfill
+	AvgResponse float64
+	Makespan    float64
+}
+
+// AblateSharingFactor sweeps the SharingFactor (Section 3.3) on the
+// given workload.
+func AblateSharingFactor(name string, scale float64, seed uint64, factors []float64) ([]AblationRow, error) {
+	w, err := NewWorkload(name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	base, err := Simulate(w, Options{Policy: "static"})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, sf := range factors {
+		res, err := Simulate(w, Options{Policy: "sd", SharingFactor: sf})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ablation("sharing-factor", fmt.Sprintf("%.2f", sf), res, base))
+	}
+	return rows, nil
+}
+
+// AblateMaxMates sweeps m, the mate combination bound (Section 3.2.4:
+// "we did not see improvements ... increasing m over two").
+func AblateMaxMates(name string, scale float64, seed uint64, ms []int) ([]AblationRow, error) {
+	w, err := NewWorkload(name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	base, err := Simulate(w, Options{Policy: "static"})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, m := range ms {
+		res, err := Simulate(w, Options{Policy: "sd", MaxMates: m})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ablation("max-mates", fmt.Sprintf("%d", m), res, base))
+	}
+	return rows, nil
+}
+
+// AblateMalleableFraction sweeps the malleable share of a mixed
+// rigid/malleable workload (Section 1: SD-Policy "supports mixed
+// workloads ... ideal for being used in transition").
+func AblateMalleableFraction(name string, scale float64, seed uint64, fracs []float64) ([]AblationRow, error) {
+	base, err := func() (*Result, error) {
+		w, err := NewWorkload(name, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		return Simulate(w, Options{Policy: "static"})
+	}()
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, f := range fracs {
+		w, err := NewWorkload(name, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		w.SetMalleableFraction(f)
+		res, err := Simulate(w, Options{Policy: "sd"})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ablation("malleable-fraction", fmt.Sprintf("%.2f", f), res, base))
+	}
+	return rows, nil
+}
+
+// ComparePolicies runs static backfill, non-adaptive oversubscription
+// and SD-Policy on the same workload — the §1/§5 motivation that
+// malleability beats blind resource sharing. Values are normalised to
+// static backfill.
+func ComparePolicies(name string, scale float64, seed uint64) ([]AblationRow, error) {
+	w, err := NewWorkload(name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	base, err := Simulate(w, Options{Policy: "static"})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, p := range []string{"static", "oversubscribe", "sd"} {
+		res, err := Simulate(w, Options{Policy: p})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ablation("policy", p, res, base))
+	}
+	return rows, nil
+}
+
+// AblateFreeNodeMixing compares mate selection with and without the
+// IncludeFreeNodes option (Section 3.2.4).
+func AblateFreeNodeMixing(name string, scale float64, seed uint64) ([]AblationRow, error) {
+	w, err := NewWorkload(name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	base, err := Simulate(w, Options{Policy: "static"})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, mix := range []bool{false, true} {
+		res, err := Simulate(w, Options{Policy: "sd", IncludeFreeNodes: mix})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ablation("free-node-mixing", fmt.Sprintf("%v", mix), res, base))
+	}
+	return rows, nil
+}
+
+func ablation(param, value string, res, base *Result) AblationRow {
+	return AblationRow{
+		Parameter:   param,
+		Value:       value,
+		AvgSlowdown: ratio(res.AvgSlowdown, base.AvgSlowdown),
+		AvgResponse: ratio(res.AvgResponse, base.AvgResponse),
+		Makespan:    ratio(float64(res.Makespan), float64(base.Makespan)),
+	}
+}
+
+func ratio(v, base float64) float64 {
+	if base == 0 {
+		return math.NaN()
+	}
+	return v / base
+}
+
+// improvement returns the percentage reduction of v relative to base.
+func improvement(base, v float64) float64 {
+	if base == 0 {
+		return math.NaN()
+	}
+	return 100 * (base - v) / base
+}

@@ -1,0 +1,95 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"sdpolicy/internal/job"
+)
+
+func TestProfilesExist(t *testing.T) {
+	for _, a := range []job.AppClass{job.AppGeneric, job.AppPILS, job.AppSTREAM,
+		job.AppCoreNeuron, job.AppNEST, job.AppAlya} {
+		p := ProfileOf(a)
+		if p.Name == "" || p.ParallelFrac <= 0 || p.ParallelFrac > 1 {
+			t.Errorf("%v: bad profile %+v", a, p)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown class accepted")
+		}
+	}()
+	ProfileOf(job.AppClass(99))
+}
+
+func TestSpeedupProperties(t *testing.T) {
+	for _, a := range []job.AppClass{job.AppGeneric, job.AppPILS, job.AppSTREAM,
+		job.AppCoreNeuron, job.AppNEST, job.AppAlya} {
+		s := Speedup(a)
+		if got := s(1); math.Abs(got-1) > 1e-9 {
+			t.Errorf("%v: s(1) = %v, want 1", a, got)
+		}
+		if s(0) != 0 {
+			t.Errorf("%v: s(0) should be 0", a)
+		}
+		prev := 0.0
+		for c := 1; c <= 48; c++ {
+			v := s(c)
+			if v < prev-1e-12 {
+				t.Errorf("%v: speedup decreasing at %d cores", a, c)
+			}
+			if v > float64(c)+1e-9 {
+				t.Errorf("%v: super-linear speedup at %d cores", a, c)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestSTREAMSaturates(t *testing.T) {
+	s := Speedup(job.AppSTREAM)
+	// Memory-bound: beyond the saturation point extra cores add nothing.
+	if s(48) > s(12)+1e-9 {
+		t.Fatalf("STREAM kept scaling past saturation: s(48)=%v s(12)=%v", s(48), s(12))
+	}
+	// Shrinking from 48 to 24 cores costs nothing.
+	if rate := s(24) / s(48); rate < 0.999 {
+		t.Fatalf("STREAM shrink 48->24 rate %v, want ~1", rate)
+	}
+}
+
+func TestPILSScalesAlmostLinearly(t *testing.T) {
+	s := Speedup(job.AppPILS)
+	if rate := s(24) / s(48); rate > 0.55 {
+		t.Fatalf("PILS shrink 48->24 rate %v, want ~0.5 (compute bound)", rate)
+	}
+}
+
+func TestSolversInBetween(t *testing.T) {
+	pils := Speedup(job.AppPILS)(24) / Speedup(job.AppPILS)(48)
+	stream := Speedup(job.AppSTREAM)(24) / Speedup(job.AppSTREAM)(48)
+	for _, a := range []job.AppClass{job.AppCoreNeuron, job.AppNEST, job.AppAlya} {
+		r := Speedup(a)(24) / Speedup(a)(48)
+		if r <= pils || r >= stream {
+			t.Errorf("%v shrink rate %v not between PILS %v and STREAM %v", a, r, pils, stream)
+		}
+	}
+}
+
+func TestTable2Mix(t *testing.T) {
+	mix := Table2Mix()
+	var total float64
+	for _, m := range mix {
+		if m.Share <= 0 {
+			t.Errorf("%v: non-positive share", m.App)
+		}
+		total += m.Share
+	}
+	if math.Abs(total-1.0) > 0.001 {
+		t.Fatalf("mix shares sum to %v, want 1.0", total)
+	}
+	if mix[0].App != job.AppPILS || math.Abs(mix[0].Share-0.305) > 1e-9 {
+		t.Fatalf("PILS share wrong: %+v", mix[0])
+	}
+}

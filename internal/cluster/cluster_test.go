@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdpolicy/internal/job"
+)
+
+func cfg48() Config { return Config{Nodes: 8, Sockets: 2, CoresPerSocket: 24} }
+
+func TestConfig(t *testing.T) {
+	c := cfg48()
+	if c.CoresPerNode() != 48 {
+		t.Fatalf("cores per node %d", c.CoresPerNode())
+	}
+	if c.TotalCores() != 8*48 {
+		t.Fatalf("total cores %d", c.TotalCores())
+	}
+	bad := []Config{{0, 2, 24}, {8, 0, 24}, {8, 2, 0}}
+	for _, b := range bad {
+		if b.Validate() == nil {
+			t.Errorf("config %+v should be invalid", b)
+		}
+	}
+}
+
+func TestAllocateFree(t *testing.T) {
+	c := New(cfg48())
+	ids, err := c.AllocateFree(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("got %d nodes", len(ids))
+	}
+	if c.FreeNodes() != 5 || c.BusyNodes() != 3 {
+		t.Fatalf("free=%d busy=%d", c.FreeNodes(), c.BusyNodes())
+	}
+	if c.UsedCores() != 3*48 {
+		t.Fatalf("used cores %d", c.UsedCores())
+	}
+	for _, id := range ids {
+		if c.CoresOf(id, 1) != 48 {
+			t.Fatalf("node %d share %d", id, c.CoresOf(id, 1))
+		}
+		al := c.Allocs(id)
+		if len(al) != 1 || !al[0].Owner {
+			t.Fatalf("node %d allocs %+v", id, al)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateFreeInsufficient(t *testing.T) {
+	c := New(cfg48())
+	if _, err := c.AllocateFree(1, 9); err == nil {
+		t.Fatal("expected error for 9 of 8 nodes")
+	}
+	if _, err := c.AllocateFree(1, 0); err == nil {
+		t.Fatal("expected error for zero nodes")
+	}
+	// failure must not leak state
+	if c.FreeNodes() != 8 || c.UsedCores() != 0 {
+		t.Fatalf("failed alloc changed state: free=%d used=%d", c.FreeNodes(), c.UsedCores())
+	}
+}
+
+func TestGuestLifecycle(t *testing.T) {
+	c := New(cfg48())
+	nodes, _ := c.AllocateFree(1, 2)
+	// shrink owner to one socket, place guest on the other
+	for _, nd := range nodes {
+		c.SetCores(nd, 1, 24)
+		c.PlaceGuest(2, nd, 24)
+	}
+	if c.UsedCores() != 2*48 {
+		t.Fatalf("used cores %d", c.UsedCores())
+	}
+	for _, nd := range nodes {
+		if c.JobsOn(nd) != 2 {
+			t.Fatalf("node %d jobs %d", nd, c.JobsOn(nd))
+		}
+	}
+	// guest leaves; owner expands back
+	for _, nd := range nodes {
+		if freed := c.Release(nd, 2); freed {
+			t.Fatalf("node %d freed while owner present", nd)
+		}
+		c.SetCores(nd, 1, 48)
+	}
+	if c.UsedCores() != 2*48 {
+		t.Fatalf("used cores after expand %d", c.UsedCores())
+	}
+	for _, nd := range nodes {
+		if freed := c.Release(nd, 1); !freed {
+			t.Fatalf("node %d not freed after last job", nd)
+		}
+	}
+	if c.FreeNodes() != 8 || c.UsedCores() != 0 {
+		t.Fatalf("not fully free: free=%d used=%d", c.FreeNodes(), c.UsedCores())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnerEndsBeforeGuest(t *testing.T) {
+	c := New(cfg48())
+	nodes, _ := c.AllocateFree(1, 1)
+	nd := nodes[0]
+	c.SetCores(nd, 1, 24)
+	c.PlaceGuest(2, nd, 24)
+	// owner ends first: node stays busy because the guest remains
+	if freed := c.Release(nd, 1); freed {
+		t.Fatal("node freed while guest running")
+	}
+	// guest absorbs the freed cores
+	c.SetCores(nd, 2, 48)
+	if c.CoresOf(nd, 2) != 48 {
+		t.Fatalf("guest share %d", c.CoresOf(nd, 2))
+	}
+	if freed := c.Release(nd, 2); !freed {
+		t.Fatal("node not freed after guest end")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverCommitPanics(t *testing.T) {
+	c := New(cfg48())
+	nodes, _ := c.AllocateFree(1, 1)
+	nd := nodes[0]
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("guest on full node", func() { c.PlaceGuest(2, nd, 1) })
+	mustPanic("set cores beyond node", func() { c.SetCores(nd, 1, 49) })
+	mustPanic("set cores absent job", func() { c.SetCores(nd, 99, 1) })
+	mustPanic("release absent job", func() { c.Release(nd, 99) })
+	mustPanic("duplicate guest", func() {
+		c.SetCores(nd, 1, 24)
+		c.PlaceGuest(1, nd, 24)
+	})
+	mustPanic("zero-core guest", func() { c.PlaceGuest(3, nd, 0) })
+}
+
+// Property test: a random but legal sequence of allocate / guest /
+// shrink / expand / release operations never breaks the invariants.
+func TestRandomOpsKeepInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		cfg := Config{Nodes: 1 + rng.Intn(20), Sockets: 1 + rng.Intn(3), CoresPerSocket: 1 + rng.Intn(16)}
+		c := New(cfg)
+		cpn := cfg.CoresPerNode()
+		type holding struct {
+			nodes []int
+			guest bool
+		}
+		held := map[job.ID]*holding{}
+		next := job.ID(1)
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(4) {
+			case 0: // allocate a new owner job
+				want := 1 + rng.Intn(4)
+				if want <= c.FreeNodes() {
+					ids, err := c.AllocateFree(next, want)
+					if err != nil {
+						t.Fatal(err)
+					}
+					held[next] = &holding{nodes: ids}
+					next++
+				}
+			case 1: // shrink an owner and add a guest on its nodes
+				for id, h := range held {
+					if h.guest || len(h.nodes) == 0 || cpn < 2 {
+						continue
+					}
+					if c.CoresOf(h.nodes[0], id) != cpn {
+						continue // already shrunk
+					}
+					g := next
+					next++
+					for _, nd := range h.nodes {
+						c.SetCores(nd, id, cpn/2)
+						c.PlaceGuest(g, nd, cpn-cpn/2)
+					}
+					held[g] = &holding{nodes: append([]int(nil), h.nodes...), guest: true}
+					break
+				}
+			case 2: // release one job entirely
+				for id, h := range held {
+					for _, nd := range h.nodes {
+						c.Release(nd, id)
+					}
+					delete(held, id)
+					break
+				}
+			case 3: // no-op probe
+				if c.BusyNodes()+c.FreeNodes() != cfg.Nodes {
+					t.Fatal("node accounting broken")
+				}
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("trial %d op %d: %v", trial, op, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import "testing"
+
+func TestNodeFeatures(t *testing.T) {
+	c := New(cfg48())
+	c.SetNodeFeatures(0, "bigmem", "gpu")
+	c.SetNodeFeatures(1, "bigmem")
+
+	if !c.NodeHasFeatures(0, []string{"bigmem", "gpu"}) {
+		t.Fatal("node 0 should satisfy both features")
+	}
+	if c.NodeHasFeatures(1, []string{"gpu"}) {
+		t.Fatal("node 1 should lack gpu")
+	}
+	if !c.NodeHasFeatures(2, nil) {
+		t.Fatal("empty requirement matches every node")
+	}
+	got := c.NodeFeatures(0)
+	if len(got) != 2 {
+		t.Fatalf("features %v", got)
+	}
+	got[0] = "mutated"
+	if c.NodeFeatures(0)[0] == "mutated" {
+		t.Fatal("NodeFeatures leaked internal storage")
+	}
+}
+
+func TestNodesWithAndFreeNodesWith(t *testing.T) {
+	c := New(cfg48())
+	c.SetNodeFeatures(0, "fast")
+	c.SetNodeFeatures(1, "fast")
+	c.SetNodeFeatures(2, "fast")
+	if got := c.NodesWith([]string{"fast"}); got != 3 {
+		t.Fatalf("NodesWith = %d, want 3", got)
+	}
+	if got := c.NodesWith(nil); got != 8 {
+		t.Fatalf("NodesWith(nil) = %d, want 8", got)
+	}
+	if got := c.FreeNodesWith([]string{"fast"}); got != 3 {
+		t.Fatalf("FreeNodesWith = %d, want 3", got)
+	}
+	// occupy one fast node
+	ids, err := c.AllocateFreeWith(1, 1, []string{"fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.NodeHasFeatures(ids[0], []string{"fast"}) {
+		t.Fatal("allocated node lacks the feature")
+	}
+	if got := c.FreeNodesWith([]string{"fast"}); got != 2 {
+		t.Fatalf("FreeNodesWith after alloc = %d, want 2", got)
+	}
+	if got := c.NodesWith([]string{"fast"}); got != 3 {
+		t.Fatal("NodesWith must count busy nodes too")
+	}
+}
+
+func TestAllocateFreeWithExhaustion(t *testing.T) {
+	c := New(cfg48())
+	c.SetNodeFeatures(0, "rare")
+	if _, err := c.AllocateFreeWith(1, 2, []string{"rare"}); err == nil {
+		t.Fatal("allocated more feature nodes than exist")
+	}
+	// failure must not leak state
+	if c.FreeNodes() != 8 || c.UsedCores() != 0 {
+		t.Fatal("failed feature allocation changed state")
+	}
+	if _, err := c.AllocateFreeWith(1, 1, []string{"rare"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

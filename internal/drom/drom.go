@@ -1,0 +1,266 @@
+// Package drom reproduces the DROM (Dynamic Resource Ownership
+// Management) interface the paper layers SD-Policy on: a per-node
+// registry of processes and their CPU masks, with get/set operations the
+// node manager uses to shrink and expand running jobs between
+// malleability points.
+//
+// DROM's measured reconfiguration cost is "negligible" (Section 2.1); the
+// registry still exposes a configurable per-operation overhead so its
+// effect can be studied, defaulting to zero.
+package drom
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"sdpolicy/internal/job"
+)
+
+// Mask is a fixed-width CPU set over the cores of one node.
+type Mask struct {
+	bits []uint64
+	n    int
+}
+
+// NewMask returns an empty mask over n cores.
+func NewMask(n int) Mask {
+	if n <= 0 {
+		panic(fmt.Sprintf("drom: non-positive mask width %d", n))
+	}
+	return Mask{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+// RangeMask returns a mask over n cores with cores [lo, hi) set.
+func RangeMask(n, lo, hi int) Mask {
+	m := NewMask(n)
+	if lo < 0 || hi > n || lo > hi {
+		panic(fmt.Sprintf("drom: core range [%d,%d) out of [0,%d)", lo, hi, n))
+	}
+	for c := lo; c < hi; c++ {
+		m.Set(c)
+	}
+	return m
+}
+
+// Width returns the number of cores the mask covers.
+func (m Mask) Width() int { return m.n }
+
+// Set marks core c as owned.
+func (m Mask) Set(c int) {
+	if c < 0 || c >= m.n {
+		panic(fmt.Sprintf("drom: core %d out of [0,%d)", c, m.n))
+	}
+	m.bits[c/64] |= 1 << (c % 64)
+}
+
+// Has reports whether core c is owned.
+func (m Mask) Has(c int) bool {
+	if c < 0 || c >= m.n {
+		return false
+	}
+	return m.bits[c/64]&(1<<(c%64)) != 0
+}
+
+// Count returns the number of owned cores.
+func (m Mask) Count() int {
+	total := 0
+	for _, w := range m.bits {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Overlaps reports whether the two masks share any core.
+func (m Mask) Overlaps(o Mask) bool {
+	for i := range m.bits {
+		if i < len(o.bits) && m.bits[i]&o.bits[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns an independent copy of the mask.
+func (m Mask) Clone() Mask {
+	c := Mask{bits: make([]uint64, len(m.bits)), n: m.n}
+	copy(c.bits, m.bits)
+	return c
+}
+
+// String renders the mask as core ranges, e.g. "0-23,32".
+func (m Mask) String() string {
+	var b strings.Builder
+	first := true
+	c := 0
+	for c < m.n {
+		if !m.Has(c) {
+			c++
+			continue
+		}
+		start := c
+		for c < m.n && m.Has(c) {
+			c++
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		if c-1 == start {
+			fmt.Fprintf(&b, "%d", start)
+		} else {
+			fmt.Fprintf(&b, "%d-%d", start, c-1)
+		}
+	}
+	if first {
+		return "-"
+	}
+	return b.String()
+}
+
+// Stats counts DROM traffic so experiments can report reconfiguration
+// activity (the shrink/expand operations of Section 3.3).
+type Stats struct {
+	Registered int64 // processes attached to the DROM space
+	Cleaned    int64 // processes detached
+	MaskSets   int64 // affinity changes on running processes
+}
+
+// Registry is the DROM space of a whole machine: per node, the set of
+// registered processes and their disjoint CPU masks.
+type Registry struct {
+	coresPerNode int
+	overhead     int64 // seconds charged per mask change
+	nodes        map[int]map[job.ID]Mask
+	stats        Stats
+}
+
+// NewRegistry returns an empty registry for nodes of the given width.
+// overhead is the simulated cost in seconds of one mask change.
+func NewRegistry(coresPerNode int, overhead int64) *Registry {
+	if coresPerNode <= 0 {
+		panic(fmt.Sprintf("drom: non-positive node width %d", coresPerNode))
+	}
+	if overhead < 0 {
+		panic(fmt.Sprintf("drom: negative overhead %d", overhead))
+	}
+	return &Registry{
+		coresPerNode: coresPerNode,
+		overhead:     overhead,
+		nodes:        make(map[int]map[job.ID]Mask),
+	}
+}
+
+// Overhead returns the per-operation reconfiguration cost in seconds.
+func (r *Registry) Overhead() int64 { return r.overhead }
+
+// Stats returns a snapshot of the traffic counters.
+func (r *Registry) Stats() Stats { return r.stats }
+
+// Register attaches a process of the job to the node with the given mask.
+// Masks of processes sharing a node must be disjoint.
+func (r *Registry) Register(node int, id job.ID, m Mask) error {
+	if m.Width() != r.coresPerNode {
+		return fmt.Errorf("drom: mask width %d, node width %d", m.Width(), r.coresPerNode)
+	}
+	if m.Count() == 0 {
+		return fmt.Errorf("drom: empty mask for job %d on node %d", id, node)
+	}
+	procs := r.nodes[node]
+	if procs == nil {
+		procs = make(map[job.ID]Mask)
+		r.nodes[node] = procs
+	}
+	if _, dup := procs[id]; dup {
+		return fmt.Errorf("drom: job %d already registered on node %d", id, node)
+	}
+	for other, om := range procs {
+		if m.Overlaps(om) {
+			return fmt.Errorf("drom: job %d mask %s overlaps job %d mask %s on node %d",
+				id, m, other, om, node)
+		}
+	}
+	procs[id] = m.Clone()
+	r.stats.Registered++
+	return nil
+}
+
+// Procs returns the jobs registered on the node, unordered.
+func (r *Registry) Procs(node int) []job.ID {
+	procs := r.nodes[node]
+	out := make([]job.ID, 0, len(procs))
+	for id := range procs {
+		out = append(out, id)
+	}
+	return out
+}
+
+// GetMask returns the current mask of the job on the node.
+func (r *Registry) GetMask(node int, id job.ID) (Mask, bool) {
+	m, ok := r.nodes[node][id]
+	if !ok {
+		return Mask{}, false
+	}
+	return m.Clone(), true
+}
+
+// SetMask changes the affinity of a registered process — the shrink or
+// expand operation applied at the job's next malleability point. It
+// returns the simulated overhead to charge.
+func (r *Registry) SetMask(node int, id job.ID, m Mask) (int64, error) {
+	procs := r.nodes[node]
+	if _, ok := procs[id]; !ok {
+		return 0, fmt.Errorf("drom: job %d not registered on node %d", id, node)
+	}
+	if m.Width() != r.coresPerNode {
+		return 0, fmt.Errorf("drom: mask width %d, node width %d", m.Width(), r.coresPerNode)
+	}
+	if m.Count() == 0 {
+		return 0, fmt.Errorf("drom: empty mask for job %d on node %d", id, node)
+	}
+	for other, om := range procs {
+		if other != id && m.Overlaps(om) {
+			return 0, fmt.Errorf("drom: job %d mask %s overlaps job %d mask %s on node %d",
+				id, m, other, om, node)
+		}
+	}
+	procs[id] = m.Clone()
+	r.stats.MaskSets++
+	return r.overhead, nil
+}
+
+// Clean detaches the job's process from the node (end of job step).
+func (r *Registry) Clean(node int, id job.ID) error {
+	procs := r.nodes[node]
+	if _, ok := procs[id]; !ok {
+		return fmt.Errorf("drom: job %d not registered on node %d", id, node)
+	}
+	delete(procs, id)
+	if len(procs) == 0 {
+		delete(r.nodes, node)
+	}
+	r.stats.Cleaned++
+	return nil
+}
+
+// CheckInvariants verifies that every node's masks are pairwise disjoint
+// and non-empty. Tests call it after random operation sequences.
+func (r *Registry) CheckInvariants() error {
+	for node, procs := range r.nodes {
+		ids := make([]job.ID, 0, len(procs))
+		for id := range procs {
+			ids = append(ids, id)
+		}
+		for i, a := range ids {
+			if procs[a].Count() == 0 {
+				return fmt.Errorf("node %d: empty mask for job %d", node, a)
+			}
+			for _, b := range ids[i+1:] {
+				if procs[a].Overlaps(procs[b]) {
+					return fmt.Errorf("node %d: jobs %d and %d overlap", node, a, b)
+				}
+			}
+		}
+	}
+	return nil
+}

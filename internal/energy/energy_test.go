@@ -1,0 +1,84 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntegration(t *testing.T) {
+	m := NewMeter(2, 100, 5)
+	m.Update(0, 0)
+	m.Update(10, 8) // 10s at idle only: 2 nodes * 100W
+	m.Update(20, 0) // 10s at 8 cores: 200W + 40W
+	m.Update(30, 0) // 10s idle again
+	want := 10*200.0 + 10*240.0 + 10*200.0
+	if math.Abs(m.Joules()-want) > 1e-9 {
+		t.Fatalf("joules %v, want %v", m.Joules(), want)
+	}
+	if math.Abs(m.KWh()-want/3.6e6) > 1e-12 {
+		t.Fatalf("kwh %v", m.KWh())
+	}
+}
+
+func TestFirstUpdateStartsClock(t *testing.T) {
+	m := NewMeter(1, 100, 1)
+	m.Update(500, 4)
+	if m.Joules() != 0 {
+		t.Fatal("energy accumulated before the clock started")
+	}
+	m.Update(600, 0)
+	want := 100 * (100.0 + 4.0)
+	if math.Abs(m.Joules()-want) > 1e-9 {
+		t.Fatalf("joules %v, want %v", m.Joules(), want)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero nodes", func() { NewMeter(0, 1, 1) })
+	mustPanic("negative power", func() { NewMeter(1, -1, 1) })
+	mustPanic("negative cores", func() {
+		m := NewMeter(1, 1, 1)
+		m.Update(0, -1)
+	})
+	mustPanic("time backwards", func() {
+		m := NewMeter(1, 1, 1)
+		m.Update(10, 0)
+		m.Update(5, 0)
+	})
+}
+
+// Property: energy is monotonically non-decreasing and bounded by
+// full-power integration.
+func TestPropertyBounds(t *testing.T) {
+	f := func(steps []uint8) bool {
+		m := NewMeter(4, 50, 2)
+		const coresPerNode = 8
+		now := int64(0)
+		m.Update(0, 0)
+		prev := 0.0
+		for _, s := range steps {
+			now += int64(s%100) + 1
+			cores := int(s) % (4*coresPerNode + 1)
+			m.Update(now, cores)
+			if m.Joules() < prev {
+				return false
+			}
+			prev = m.Joules()
+		}
+		maxPower := 50*4.0 + 2*float64(4*coresPerNode)
+		return m.Joules() <= maxPower*float64(now)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+// Package job defines the batch job model shared by the workload
+// generators, the schedulers and the metrics engine.
+//
+// A job is described the way a Standard Workload Format (SWF) record
+// describes it — submit time, requested wall time, requested node count,
+// actual runtime — extended with the malleability attributes SD-Policy
+// needs: the job kind (rigid, moldable or malleable), the number of tasks
+// per node (the shrink floor: one core per task), and an application class
+// used by the real-run contention model.
+package job
+
+import "fmt"
+
+// ID identifies a job within one workload. IDs are dense, starting at 1,
+// in submission order.
+type ID int64
+
+// Kind classifies how flexible a job's allocation is, following
+// Feitelson's taxonomy as used in the paper (Section 1 and 5).
+type Kind uint8
+
+const (
+	// Rigid jobs run only on exactly the requested allocation.
+	Rigid Kind = iota
+	// Moldable jobs may start on a reduced allocation but cannot change
+	// it afterwards: they can be SD-Policy guests, but never absorb freed
+	// cores nor act as mates.
+	Moldable
+	// Malleable jobs can shrink and expand at runtime: they can be both
+	// guests and mates.
+	Malleable
+)
+
+// String returns the lower-case kind name.
+func (k Kind) String() string {
+	switch k {
+	case Rigid:
+		return "rigid"
+	case Moldable:
+		return "moldable"
+	case Malleable:
+		return "malleable"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// AppClass selects an application model for the real-run emulation
+// (Table 2 of the paper). AppGeneric means "no application model": the job
+// follows the ideal/worst-case analytic runtime models only.
+type AppClass uint8
+
+const (
+	AppGeneric    AppClass = iota
+	AppPILS                // compute bound, low memory traffic
+	AppSTREAM              // memory-bandwidth bound, low CPU efficiency
+	AppCoreNeuron          // compute+memory intensive simulation
+	AppNEST                // compute+memory intensive simulation
+	AppAlya                // multi-physics solver, compute intensive
+)
+
+// String returns the application name used in Table 2.
+func (a AppClass) String() string {
+	switch a {
+	case AppGeneric:
+		return "generic"
+	case AppPILS:
+		return "PILS"
+	case AppSTREAM:
+		return "STREAM"
+	case AppCoreNeuron:
+		return "CoreNeuron"
+	case AppNEST:
+		return "NEST"
+	case AppAlya:
+		return "Alya"
+	}
+	return fmt.Sprintf("AppClass(%d)", uint8(a))
+}
+
+// Job is one batch job of a workload. Times are in seconds. Submit is an
+// offset from the workload start; ReqTime is the user's wall-time request
+// (the only duration the scheduler may use for predictions); ActualTime is
+// the real duration the job would have when running on its full static
+// allocation (only the simulator's completion engine may read it).
+type Job struct {
+	ID           ID
+	Submit       int64
+	ReqTime      int64
+	ActualTime   int64
+	ReqNodes     int
+	TasksPerNode int // shrink floor: one core per task and node
+	Kind         Kind
+	App          AppClass
+	// Features are node attributes the job requires on every allocated
+	// node (SLURM-style constraints: architecture, memory class,
+	// interconnect, ...). Empty means any node.
+	Features []string
+	// Queue is the submission queue name; queues can carry their own
+	// QoS MAX_SLOWDOWN cut-off (paper §4.1: "implement different queues
+	// with different QoS policies using different MAXSD
+	// configurations"). Empty means the default queue.
+	Queue string
+}
+
+// Validate reports the first structural problem of the job record, or nil.
+func (j *Job) Validate() error {
+	switch {
+	case j.ID <= 0:
+		return fmt.Errorf("job %d: non-positive id", j.ID)
+	case j.Submit < 0:
+		return fmt.Errorf("job %d: negative submit time %d", j.ID, j.Submit)
+	case j.ReqTime <= 0:
+		return fmt.Errorf("job %d: non-positive requested time %d", j.ID, j.ReqTime)
+	case j.ActualTime <= 0:
+		return fmt.Errorf("job %d: non-positive actual time %d", j.ID, j.ActualTime)
+	case j.ActualTime > j.ReqTime:
+		return fmt.Errorf("job %d: actual time %d exceeds request %d", j.ID, j.ActualTime, j.ReqTime)
+	case j.ReqNodes <= 0:
+		return fmt.Errorf("job %d: non-positive node request %d", j.ID, j.ReqNodes)
+	case j.TasksPerNode <= 0:
+		return fmt.Errorf("job %d: non-positive tasks per node %d", j.ID, j.TasksPerNode)
+	}
+	return nil
+}
+
+// ReqCPUs returns the total core request on a machine with the given
+// cores per node; jobs always request whole nodes (select/linear).
+func (j *Job) ReqCPUs(coresPerNode int) int { return j.ReqNodes * coresPerNode }
+
+// Clamp enforces ActualTime <= ReqTime, modelling the resource manager
+// killing jobs that exceed their wall-time limit.
+func (j *Job) Clamp() {
+	if j.ActualTime > j.ReqTime {
+		j.ActualTime = j.ReqTime
+	}
+}

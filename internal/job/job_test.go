@@ -1,0 +1,109 @@
+package job
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func validJob() Job {
+	return Job{
+		ID: 1, Submit: 0, ReqTime: 3600, ActualTime: 1800,
+		ReqNodes: 4, TasksPerNode: 2, Kind: Malleable,
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	j := validJob()
+	if err := j.Validate(); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Job)
+	}{
+		{"zero id", func(j *Job) { j.ID = 0 }},
+		{"negative id", func(j *Job) { j.ID = -3 }},
+		{"negative submit", func(j *Job) { j.Submit = -1 }},
+		{"zero req time", func(j *Job) { j.ReqTime = 0 }},
+		{"zero actual time", func(j *Job) { j.ActualTime = 0 }},
+		{"actual exceeds request", func(j *Job) { j.ActualTime = j.ReqTime + 1 }},
+		{"zero nodes", func(j *Job) { j.ReqNodes = 0 }},
+		{"zero tasks per node", func(j *Job) { j.TasksPerNode = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			j := validJob()
+			tc.mutate(&j)
+			if err := j.Validate(); err == nil {
+				t.Fatalf("expected validation error")
+			}
+		})
+	}
+}
+
+func TestClamp(t *testing.T) {
+	j := validJob()
+	j.ActualTime = j.ReqTime + 500
+	j.Clamp()
+	if j.ActualTime != j.ReqTime {
+		t.Fatalf("clamp: actual=%d want %d", j.ActualTime, j.ReqTime)
+	}
+	before := j.ActualTime
+	j.Clamp() // idempotent
+	if j.ActualTime != before {
+		t.Fatalf("clamp not idempotent")
+	}
+}
+
+func TestClampPropertyNeverExceedsRequest(t *testing.T) {
+	f := func(req, actual int64) bool {
+		if req <= 0 {
+			req = -req + 1
+		}
+		if actual <= 0 {
+			actual = -actual + 1
+		}
+		j := validJob()
+		j.ReqTime, j.ActualTime = req, actual
+		j.Clamp()
+		return j.ActualTime <= j.ReqTime && j.ActualTime > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReqCPUs(t *testing.T) {
+	j := validJob()
+	if got := j.ReqCPUs(48); got != 4*48 {
+		t.Fatalf("ReqCPUs = %d, want %d", got, 4*48)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Rigid: "rigid", Moldable: "moldable", Malleable: "malleable"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Errorf("unknown kind should still stringify")
+	}
+}
+
+func TestAppClassString(t *testing.T) {
+	for a, want := range map[AppClass]string{
+		AppGeneric: "generic", AppPILS: "PILS", AppSTREAM: "STREAM",
+		AppCoreNeuron: "CoreNeuron", AppNEST: "NEST", AppAlya: "Alya",
+	} {
+		if a.String() != want {
+			t.Errorf("AppClass(%d).String() = %q, want %q", a, a.String(), want)
+		}
+	}
+	if AppClass(99).String() == "" {
+		t.Errorf("unknown app class should still stringify")
+	}
+}

@@ -1,0 +1,385 @@
+// Package metrics computes the evaluation metrics of the paper
+// (Section 4): makespan, average response time, average slowdown, the
+// per-day slowdown series of Figure 7 and the (nodes × runtime) category
+// heatmaps of Figures 4–6.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sdpolicy/internal/job"
+	"sdpolicy/internal/stats"
+)
+
+// JobResult is the completion record of one job.
+type JobResult struct {
+	ID         job.ID
+	Submit     int64
+	Start      int64
+	End        int64
+	ReqTime    int64
+	ActualTime int64 // static execution time: the slowdown denominator
+	ReqNodes   int
+	Kind       job.Kind
+	App        job.AppClass
+	// MalleableStart marks jobs co-scheduled by SD-Policy as guests.
+	MalleableStart bool
+	// WasMate marks jobs that were shrunk at least once to host a guest.
+	WasMate bool
+}
+
+// Wait returns start − submit.
+func (r *JobResult) Wait() int64 { return r.Start - r.Submit }
+
+// Response returns end − submit.
+func (r *JobResult) Response() int64 { return r.End - r.Submit }
+
+// RunTime returns end − start (stretched by malleability if any).
+func (r *JobResult) RunTime() int64 { return r.End - r.Start }
+
+// Slowdown returns response time divided by the static execution time,
+// the paper's definition (Section 4).
+func (r *JobResult) Slowdown() float64 {
+	if r.ActualTime <= 0 {
+		panic(fmt.Sprintf("metrics: job %d has non-positive static time", r.ID))
+	}
+	return float64(r.Response()) / float64(r.ActualTime)
+}
+
+// BoundedSlowdown returns the bounded slowdown of Feitelson's metrics
+// work (cited by the paper in Section 3.2.1): response / max(actual,
+// tau), clamped below at 1, so sub-tau jobs cannot dominate the average.
+func (r *JobResult) BoundedSlowdown(tau int64) float64 {
+	if tau <= 0 {
+		panic(fmt.Sprintf("metrics: non-positive bound %d", tau))
+	}
+	denom := r.ActualTime
+	if denom < tau {
+		denom = tau
+	}
+	sd := float64(r.Response()) / float64(denom)
+	if sd < 1 {
+		return 1
+	}
+	return sd
+}
+
+// Report aggregates the completions of one simulation run.
+type Report struct {
+	Results []JobResult
+}
+
+// Validate reports the first inconsistent result record, or nil.
+func (rp *Report) Validate() error {
+	for i := range rp.Results {
+		r := &rp.Results[i]
+		switch {
+		case r.Start < r.Submit:
+			return fmt.Errorf("job %d started before submit", r.ID)
+		case r.End < r.Start:
+			return fmt.Errorf("job %d ended before start", r.ID)
+		case r.ActualTime <= 0:
+			return fmt.Errorf("job %d has non-positive static time", r.ID)
+		case r.RunTime() < r.ActualTime:
+			return fmt.Errorf("job %d ran %ds, shorter than its static time %ds",
+				r.ID, r.RunTime(), r.ActualTime)
+		}
+	}
+	return nil
+}
+
+// Makespan returns last end − first submit, the paper's definition.
+func (rp *Report) Makespan() int64 {
+	if len(rp.Results) == 0 {
+		return 0
+	}
+	firstSubmit := rp.Results[0].Submit
+	var lastEnd int64
+	for i := range rp.Results {
+		if rp.Results[i].Submit < firstSubmit {
+			firstSubmit = rp.Results[i].Submit
+		}
+		if rp.Results[i].End > lastEnd {
+			lastEnd = rp.Results[i].End
+		}
+	}
+	return lastEnd - firstSubmit
+}
+
+// AvgResponse returns the mean response time in seconds.
+func (rp *Report) AvgResponse() float64 {
+	if len(rp.Results) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range rp.Results {
+		sum += float64(rp.Results[i].Response())
+	}
+	return sum / float64(len(rp.Results))
+}
+
+// AvgSlowdown returns the mean slowdown.
+func (rp *Report) AvgSlowdown() float64 {
+	if len(rp.Results) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range rp.Results {
+		sum += rp.Results[i].Slowdown()
+	}
+	return sum / float64(len(rp.Results))
+}
+
+// AvgBoundedSlowdown returns the mean bounded slowdown with bound tau
+// (10 minutes is the customary value in the scheduling literature).
+func (rp *Report) AvgBoundedSlowdown(tau int64) float64 {
+	if len(rp.Results) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range rp.Results {
+		sum += rp.Results[i].BoundedSlowdown(tau)
+	}
+	return sum / float64(len(rp.Results))
+}
+
+// SlowdownPercentile returns the p-th percentile of per-job slowdowns.
+func (rp *Report) SlowdownPercentile(p float64) float64 {
+	if len(rp.Results) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(rp.Results))
+	for i := range rp.Results {
+		xs[i] = rp.Results[i].Slowdown()
+	}
+	return stats.Percentile(xs, p)
+}
+
+// AvgWait returns the mean queue wait in seconds.
+func (rp *Report) AvgWait() float64 {
+	if len(rp.Results) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range rp.Results {
+		sum += float64(rp.Results[i].Wait())
+	}
+	return sum / float64(len(rp.Results))
+}
+
+// MalleableStarts returns how many jobs were co-scheduled as guests.
+func (rp *Report) MalleableStarts() int {
+	n := 0
+	for i := range rp.Results {
+		if rp.Results[i].MalleableStart {
+			n++
+		}
+	}
+	return n
+}
+
+// Mates returns how many jobs served as mates at least once.
+func (rp *Report) Mates() int {
+	n := 0
+	for i := range rp.Results {
+		if rp.Results[i].WasMate {
+			n++
+		}
+	}
+	return n
+}
+
+// DayStats is one point of the Figure 7 series.
+type DayStats struct {
+	Day             int // day index from the first submit
+	Jobs            int
+	AvgSlowdown     float64
+	MalleableStarts int
+}
+
+// Daily buckets jobs by submit day and returns per-day average slowdown
+// and malleable-start counts, ordered by day. Empty days are omitted.
+func (rp *Report) Daily() []DayStats {
+	if len(rp.Results) == 0 {
+		return nil
+	}
+	first := rp.Results[0].Submit
+	for i := range rp.Results {
+		if rp.Results[i].Submit < first {
+			first = rp.Results[i].Submit
+		}
+	}
+	type acc struct {
+		n, mall int
+		sum     float64
+	}
+	days := map[int]*acc{}
+	for i := range rp.Results {
+		r := &rp.Results[i]
+		d := int((r.Submit - first) / 86400)
+		a := days[d]
+		if a == nil {
+			a = &acc{}
+			days[d] = a
+		}
+		a.n++
+		a.sum += r.Slowdown()
+		if r.MalleableStart {
+			a.mall++
+		}
+	}
+	out := make([]DayStats, 0, len(days))
+	for d, a := range days {
+		out = append(out, DayStats{Day: d, Jobs: a.n, AvgSlowdown: a.sum / float64(a.n), MalleableStarts: a.mall})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Day < out[j].Day })
+	return out
+}
+
+// Metric selects which per-job quantity a heatmap aggregates.
+type Metric uint8
+
+const (
+	// MetricSlowdown aggregates job slowdowns (Figure 4).
+	MetricSlowdown Metric = iota
+	// MetricRunTime aggregates stretched runtimes (Figure 5).
+	MetricRunTime
+	// MetricWait aggregates queue waits (Figure 6).
+	MetricWait
+)
+
+// String returns the metric name.
+func (m Metric) String() string {
+	switch m {
+	case MetricSlowdown:
+		return "slowdown"
+	case MetricRunTime:
+		return "runtime"
+	case MetricWait:
+		return "wait"
+	}
+	return fmt.Sprintf("Metric(%d)", uint8(m))
+}
+
+// Heatmap bucket edges follow the paper's Figure 4 axes: requested nodes
+// in powers of two and runtime in operator-meaningful spans.
+var (
+	// NodeEdges are upper bounds (inclusive) of the node-count buckets.
+	NodeEdges = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, math.MaxInt}
+	// TimeEdges are upper bounds (inclusive, seconds) of the runtime
+	// buckets: 5m, 1h, 4h, 12h, 1d, 4d, rest.
+	TimeEdges = []int64{300, 3600, 4 * 3600, 12 * 3600, 86400, 4 * 86400, math.MaxInt64}
+)
+
+// NodeBucketLabel names node bucket i.
+func NodeBucketLabel(i int) string {
+	lo := 1
+	if i > 0 {
+		lo = NodeEdges[i-1] + 1
+	}
+	if NodeEdges[i] == math.MaxInt {
+		return fmt.Sprintf(">%d nodes", NodeEdges[i-1])
+	}
+	if lo == NodeEdges[i] {
+		return fmt.Sprintf("%d nodes", lo)
+	}
+	return fmt.Sprintf("%d-%d nodes", lo, NodeEdges[i])
+}
+
+// TimeBucketLabel names runtime bucket i.
+func TimeBucketLabel(i int) string {
+	labels := []string{"<=5m", "<=1h", "<=4h", "<=12h", "<=1d", "<=4d", ">4d"}
+	return labels[i]
+}
+
+// Cell is one heatmap cell aggregate.
+type Cell struct {
+	Jobs int
+	Mean float64
+}
+
+// Heatmap is a (node bucket × time bucket) aggregation of one metric.
+type Heatmap struct {
+	Metric Metric
+	Cells  [][]Cell // [node bucket][time bucket]
+}
+
+// NewHeatmap aggregates the report into category means. Job categories
+// use the requested node count and the *static* runtime, so the same job
+// lands in the same cell under both policies and cells stay comparable.
+func (rp *Report) NewHeatmap(m Metric) *Heatmap {
+	h := &Heatmap{Metric: m, Cells: make([][]Cell, len(NodeEdges))}
+	sums := make([][]float64, len(NodeEdges))
+	for i := range h.Cells {
+		h.Cells[i] = make([]Cell, len(TimeEdges))
+		sums[i] = make([]float64, len(TimeEdges))
+	}
+	for i := range rp.Results {
+		r := &rp.Results[i]
+		nb := bucketOfInt(r.ReqNodes, NodeEdges)
+		tb := bucketOfInt64(r.ActualTime, TimeEdges)
+		var v float64
+		switch m {
+		case MetricSlowdown:
+			v = r.Slowdown()
+		case MetricRunTime:
+			v = float64(r.RunTime())
+		case MetricWait:
+			v = float64(r.Wait())
+		default:
+			panic(fmt.Sprintf("metrics: unknown metric %d", m))
+		}
+		h.Cells[nb][tb].Jobs++
+		sums[nb][tb] += v
+	}
+	for i := range h.Cells {
+		for j := range h.Cells[i] {
+			if h.Cells[i][j].Jobs > 0 {
+				h.Cells[i][j].Mean = sums[i][j] / float64(h.Cells[i][j].Jobs)
+			}
+		}
+	}
+	return h
+}
+
+// Ratio returns base mean / other mean per cell (the Figures 4–6
+// convention: >1 means the SD run improved over static). Cells empty in
+// either map yield NaN. Panics if the metrics differ.
+func (h *Heatmap) Ratio(other *Heatmap) [][]float64 {
+	if h.Metric != other.Metric {
+		panic("metrics: ratio of different metrics")
+	}
+	out := make([][]float64, len(h.Cells))
+	for i := range h.Cells {
+		out[i] = make([]float64, len(h.Cells[i]))
+		for j := range h.Cells[i] {
+			a, b := h.Cells[i][j], other.Cells[i][j]
+			if a.Jobs == 0 || b.Jobs == 0 || b.Mean == 0 {
+				out[i][j] = math.NaN()
+				continue
+			}
+			out[i][j] = a.Mean / b.Mean
+		}
+	}
+	return out
+}
+
+func bucketOfInt(v int, edges []int) int {
+	for i, e := range edges {
+		if v <= e {
+			return i
+		}
+	}
+	return len(edges) - 1
+}
+
+func bucketOfInt64(v int64, edges []int64) int {
+	for i, e := range edges {
+		if v <= e {
+			return i
+		}
+	}
+	return len(edges) - 1
+}

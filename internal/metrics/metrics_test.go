@@ -1,0 +1,255 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sdpolicy/internal/job"
+)
+
+func res(id job.ID, submit, start, end, actual int64, nodes int) JobResult {
+	return JobResult{ID: id, Submit: submit, Start: start, End: end,
+		ReqTime: actual, ActualTime: actual, ReqNodes: nodes}
+}
+
+func TestBasicAggregates(t *testing.T) {
+	rp := Report{Results: []JobResult{
+		res(1, 0, 0, 100, 100, 1),    // slowdown 1
+		res(2, 50, 150, 250, 100, 2), // wait 100, slowdown 2
+	}}
+	if err := rp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rp.Makespan(); got != 250 {
+		t.Fatalf("makespan %d, want 250", got)
+	}
+	if got := rp.AvgResponse(); got != 150 {
+		t.Fatalf("avg response %v, want 150", got)
+	}
+	if got := rp.AvgSlowdown(); got != 1.5 {
+		t.Fatalf("avg slowdown %v, want 1.5", got)
+	}
+	if got := rp.AvgWait(); got != 50 {
+		t.Fatalf("avg wait %v, want 50", got)
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	var rp Report
+	if rp.Makespan() != 0 || rp.AvgResponse() != 0 || rp.AvgSlowdown() != 0 ||
+		rp.AvgWait() != 0 || rp.Daily() != nil {
+		t.Fatal("empty report should be all zeros")
+	}
+}
+
+func TestValidateCatches(t *testing.T) {
+	bad := []JobResult{
+		{ID: 1, Submit: 10, Start: 5, End: 20, ActualTime: 5}, // start before submit
+		{ID: 1, Submit: 0, Start: 10, End: 5, ActualTime: 5},  // end before start
+		{ID: 1, Submit: 0, Start: 0, End: 10, ActualTime: 0},  // no static time
+		{ID: 1, Submit: 0, Start: 0, End: 10, ActualTime: 50}, // ran shorter than static
+	}
+	for i, r := range bad {
+		rp := Report{Results: []JobResult{r}}
+		if rp.Validate() == nil {
+			t.Errorf("case %d accepted: %+v", i, r)
+		}
+	}
+}
+
+func TestBoundedSlowdown(t *testing.T) {
+	// 10s job waiting 590s: raw slowdown 60; bounded with tau=600 -> 1.
+	r := res(1, 0, 590, 600, 10, 1)
+	if got := r.Slowdown(); got != 60 {
+		t.Fatalf("raw slowdown %v, want 60", got)
+	}
+	if got := r.BoundedSlowdown(600); got != 1 {
+		t.Fatalf("bounded slowdown %v, want 1", got)
+	}
+	// a long job is unaffected by the bound
+	long := res(2, 0, 0, 7200, 7200, 1)
+	if got := long.BoundedSlowdown(600); got != 1 {
+		t.Fatalf("long job bounded slowdown %v, want 1", got)
+	}
+	waited := res(3, 0, 7200, 14400, 7200, 1)
+	if got := waited.BoundedSlowdown(600); got != 2 {
+		t.Fatalf("waited job bounded slowdown %v, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive bound")
+		}
+	}()
+	r.BoundedSlowdown(0)
+}
+
+func TestReportBoundedAndPercentiles(t *testing.T) {
+	rp := Report{Results: []JobResult{
+		res(1, 0, 0, 100, 100, 1),    // slowdown 1
+		res(2, 0, 100, 200, 100, 1),  // slowdown 2
+		res(3, 0, 900, 1000, 100, 1), // slowdown 10
+	}}
+	if got := rp.AvgBoundedSlowdown(600); math.Abs(got-(1+1+10.0/6)/3) > 1e-9 {
+		t.Fatalf("avg bounded slowdown %v", got)
+	}
+	if got := rp.SlowdownPercentile(50); got != 2 {
+		t.Fatalf("p50 slowdown %v, want 2", got)
+	}
+	if got := rp.SlowdownPercentile(100); got != 10 {
+		t.Fatalf("p100 slowdown %v, want 10", got)
+	}
+	var empty Report
+	if empty.AvgBoundedSlowdown(600) != 0 || empty.SlowdownPercentile(50) != 0 {
+		t.Fatal("empty report should report zeros")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	a := res(1, 0, 0, 10, 10, 1)
+	a.MalleableStart = true
+	b := res(2, 0, 0, 10, 10, 1)
+	b.WasMate = true
+	rp := Report{Results: []JobResult{a, b, res(3, 0, 0, 10, 10, 1)}}
+	if rp.MalleableStarts() != 1 || rp.Mates() != 1 {
+		t.Fatalf("starts=%d mates=%d", rp.MalleableStarts(), rp.Mates())
+	}
+}
+
+func TestDaily(t *testing.T) {
+	day := int64(86400)
+	a := res(1, 0, 0, 100, 100, 1)                 // day 0, slowdown 1
+	b := res(2, 10, 10, 310, 100, 1)               // day 0, slowdown 3
+	c := res(3, 2*day+5, 2*day+5, 2*day+55, 50, 1) // day 2, slowdown 1
+	c.MalleableStart = true
+	rp := Report{Results: []JobResult{a, b, c}}
+	days := rp.Daily()
+	if len(days) != 2 {
+		t.Fatalf("got %d days, want 2 (day 1 empty)", len(days))
+	}
+	if days[0].Day != 0 || days[0].Jobs != 2 || days[0].AvgSlowdown != 2 {
+		t.Fatalf("day 0: %+v", days[0])
+	}
+	if days[1].Day != 2 || days[1].MalleableStarts != 1 {
+		t.Fatalf("day 2: %+v", days[1])
+	}
+}
+
+func TestHeatmapBuckets(t *testing.T) {
+	rp := Report{Results: []JobResult{
+		res(1, 0, 0, 100, 100, 1),         // 1 node, <=5m
+		res(2, 0, 0, 7200, 7200, 3),       // 3-4 nodes, <=4h
+		res(3, 0, 0, 500000, 400000, 600), // 513-1024 nodes, >4d
+	}}
+	h := rp.NewHeatmap(MetricSlowdown)
+	if h.Cells[0][0].Jobs != 1 {
+		t.Fatalf("cell (1 node, <=5m) jobs %d", h.Cells[0][0].Jobs)
+	}
+	if h.Cells[2][2].Jobs != 1 {
+		t.Fatalf("cell (3-4 nodes, <=4h) jobs %d", h.Cells[2][2].Jobs)
+	}
+	if h.Cells[10][6].Jobs != 1 {
+		t.Fatalf("cell (513-1024, >4d) jobs %d", h.Cells[10][6].Jobs)
+	}
+	total := 0
+	for i := range h.Cells {
+		for j := range h.Cells[i] {
+			total += h.Cells[i][j].Jobs
+		}
+	}
+	if total != 3 {
+		t.Fatalf("heatmap lost jobs: %d", total)
+	}
+}
+
+func TestHeatmapMetricsAndRatio(t *testing.T) {
+	// static run: slowdown 10; sd run: slowdown 2 => ratio 5 (improvement)
+	static := Report{Results: []JobResult{res(1, 0, 900, 1000, 100, 1)}}
+	sd := Report{Results: []JobResult{res(1, 0, 100, 200, 100, 1)}}
+	hs := static.NewHeatmap(MetricSlowdown)
+	hd := sd.NewHeatmap(MetricSlowdown)
+	ratio := hs.Ratio(hd)
+	if got := ratio[0][0]; math.Abs(got-5) > 1e-9 {
+		t.Fatalf("ratio %v, want 5", got)
+	}
+	// empty cells are NaN
+	if !math.IsNaN(ratio[1][1]) {
+		t.Fatal("empty cell ratio should be NaN")
+	}
+	// wait ratio: static wait 900, sd wait 100 => 9
+	rw := static.NewHeatmap(MetricWait).Ratio(sd.NewHeatmap(MetricWait))
+	if got := rw[0][0]; math.Abs(got-9) > 1e-9 {
+		t.Fatalf("wait ratio %v, want 9", got)
+	}
+	// runtime ratio: both ran 100s => 1
+	rr := static.NewHeatmap(MetricRunTime).Ratio(sd.NewHeatmap(MetricRunTime))
+	if got := rr[0][0]; math.Abs(got-1) > 1e-9 {
+		t.Fatalf("runtime ratio %v, want 1", got)
+	}
+}
+
+func TestRatioPanicsOnMetricMismatch(t *testing.T) {
+	rp := Report{Results: []JobResult{res(1, 0, 0, 10, 10, 1)}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rp.NewHeatmap(MetricSlowdown).Ratio(rp.NewHeatmap(MetricWait))
+}
+
+func TestBucketLabels(t *testing.T) {
+	if NodeBucketLabel(0) != "1 nodes" && NodeBucketLabel(0) != "1 node" {
+		// label text just needs to be stable and non-empty
+		if NodeBucketLabel(0) == "" {
+			t.Fatal("empty node label")
+		}
+	}
+	for i := range NodeEdges {
+		if NodeBucketLabel(i) == "" {
+			t.Fatalf("empty node label %d", i)
+		}
+	}
+	for i := range TimeEdges {
+		if TimeBucketLabel(i) == "" {
+			t.Fatalf("empty time label %d", i)
+		}
+	}
+}
+
+// Property: every job lands in exactly one heatmap cell and the overall
+// mean of cell means weighted by counts equals the report mean.
+func TestPropertyHeatmapPartition(t *testing.T) {
+	f := func(waits []uint16, sizes []uint8) bool {
+		n := len(waits)
+		if len(sizes) < n {
+			n = len(sizes)
+		}
+		if n == 0 {
+			return true
+		}
+		var rs []JobResult
+		for i := 0; i < n; i++ {
+			w := int64(waits[i])
+			nodes := int(sizes[i]%64) + 1
+			rs = append(rs, res(job.ID(i+1), 0, w, w+100, 100, nodes))
+		}
+		rp := Report{Results: rs}
+		h := rp.NewHeatmap(MetricSlowdown)
+		total := 0
+		var weighted float64
+		for i := range h.Cells {
+			for j := range h.Cells[i] {
+				total += h.Cells[i][j].Jobs
+				weighted += h.Cells[i][j].Mean * float64(h.Cells[i][j].Jobs)
+			}
+		}
+		if total != n {
+			return false
+		}
+		return math.Abs(weighted/float64(n)-rp.AvgSlowdown()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

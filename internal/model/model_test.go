@@ -1,0 +1,269 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRateIdeal(t *testing.T) {
+	// Eq. 5: aggregate fraction. One node full, one node half => 0.75.
+	if r := Rate(Ideal, []int{48, 24}, 48, nil); math.Abs(r-0.75) > 1e-12 {
+		t.Fatalf("ideal rate %v, want 0.75", r)
+	}
+	if r := Rate(Ideal, []int{48, 48}, 48, nil); r != 1 {
+		t.Fatalf("full allocation rate %v, want 1", r)
+	}
+	if r := Rate(Ideal, []int{0, 0}, 48, nil); r != 0 {
+		t.Fatalf("zero allocation rate %v, want 0", r)
+	}
+}
+
+func TestRateWorstCase(t *testing.T) {
+	// Eq. 6: limited by the most shrunk node.
+	if r := Rate(WorstCase, []int{48, 24}, 48, nil); math.Abs(r-0.5) > 1e-12 {
+		t.Fatalf("worst-case rate %v, want 0.5", r)
+	}
+	if r := Rate(WorstCase, []int{48, 48, 48}, 48, nil); r != 1 {
+		t.Fatalf("full allocation rate %v, want 1", r)
+	}
+	if r := Rate(WorstCase, []int{48, 0}, 48, nil); r != 0 {
+		t.Fatalf("one empty node rate %v, want 0", r)
+	}
+}
+
+func TestRateApp(t *testing.T) {
+	// Speedup saturating at 8 cores: shrinking from 48 to 24 is free.
+	sat := func(c int) float64 { return math.Min(float64(c), 8) }
+	if r := Rate(App, []int{24}, 48, sat); r != 1 {
+		t.Fatalf("saturated app rate %v, want 1", r)
+	}
+	lin := func(c int) float64 { return float64(c) }
+	if r := Rate(App, []int{24}, 48, lin); math.Abs(r-0.5) > 1e-12 {
+		t.Fatalf("linear app rate %v, want 0.5", r)
+	}
+	if r := Rate(App, []int{0, 24}, 48, lin); r != 0 {
+		t.Fatalf("zero-share app rate %v, want 0", r)
+	}
+}
+
+func TestRatePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero full", func() { Rate(Ideal, []int{1}, 0, nil) })
+	mustPanic("empty shares", func() { Rate(Ideal, nil, 48, nil) })
+	mustPanic("app without speedup", func() { Rate(App, []int{1}, 48, nil) })
+	mustPanic("unknown kind", func() { Rate(Kind(9), []int{1}, 48, nil) })
+}
+
+// Property: worst-case rate never exceeds ideal rate (Eq. 6 is the lower
+// bound of Eq. 5), and both stay within [0, 1].
+func TestPropertyWorstLeqIdeal(t *testing.T) {
+	f := func(raw []uint8, fullRaw uint8) bool {
+		full := int(fullRaw%63) + 1
+		if len(raw) == 0 {
+			return true
+		}
+		shares := make([]int, len(raw))
+		for i, v := range raw {
+			shares[i] = int(v) % (full + 1)
+		}
+		wi := Rate(Ideal, shares, full, nil)
+		ww := Rate(WorstCase, shares, full, nil)
+		return ww <= wi+1e-12 && wi >= 0 && wi <= 1 && ww >= 0 && ww <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrease(t *testing.T) {
+	// Half the cores for the whole life doubles the runtime: the increase
+	// equals the original duration (worst-case Eq. 6 with SF 0.5).
+	if inc := Increase(3600, 0.5); math.Abs(inc-3600) > 1e-9 {
+		t.Fatalf("increase %v, want 3600", inc)
+	}
+	if inc := Increase(3600, 1); inc != 0 {
+		t.Fatalf("full-rate increase %v, want 0", inc)
+	}
+	if inc := Increase(3600, 0); !math.IsInf(inc, 1) {
+		t.Fatalf("zero-rate increase %v, want +Inf", inc)
+	}
+	if inc := Increase(3600, 2); inc != 0 { // rates above 1 clamp
+		t.Fatalf("overclocked increase %v, want 0", inc)
+	}
+}
+
+func TestMateIncrease(t *testing.T) {
+	// A mate at rate 0.5 hosting a guest for 7200s loses 3600s of work.
+	if inc := MateIncrease(7200, 0.5); math.Abs(inc-3600) > 1e-9 {
+		t.Fatalf("mate increase %v, want 3600", inc)
+	}
+	if inc := MateIncrease(7200, 1); inc != 0 {
+		t.Fatalf("unshrunk mate increase %v, want 0", inc)
+	}
+}
+
+func TestProgressStaticRun(t *testing.T) {
+	p := NewProgress(100, 1000)
+	if p.RemainingWall(100) != 1000 {
+		t.Fatalf("remaining %d, want 1000", p.RemainingWall(100))
+	}
+	if !p.Finished(1100) {
+		t.Fatal("not finished at end time")
+	}
+}
+
+func TestProgressShrinkExpand(t *testing.T) {
+	// 1000s of work; shrink to rate 0.5 during [200, 600): completes
+	// 200 + 400*0.5 = 400 of work by t=600; remaining 600 at rate 1.
+	p := NewProgress(0, 1000)
+	p.SetRate(200, 0.5)
+	p.SetRate(600, 1)
+	if got := p.RemainingWall(600); got != 600 {
+		t.Fatalf("remaining %d, want 600", got)
+	}
+	if !p.Finished(1200) {
+		t.Fatal("should finish at t=1200")
+	}
+	if p.Finished(1199) {
+		t.Fatal("finished too early")
+	}
+}
+
+func TestProgressMatchesEq5SlotSum(t *testing.T) {
+	// Reproduce Eq. 5 slot arithmetic: job of 600s, slots of 100s at
+	// shares {24,48,12} of 48 => work done = 100*(0.5+1+0.25) = 175.
+	p := NewProgress(0, 600)
+	p.SetRate(0, Rate(Ideal, []int{24}, 48, nil))
+	p.SetRate(100, Rate(Ideal, []int{48}, 48, nil))
+	p.SetRate(200, Rate(Ideal, []int{12}, 48, nil))
+	if got := p.Done(300); math.Abs(got-175) > 1e-9 {
+		t.Fatalf("done %v, want 175", got)
+	}
+}
+
+func TestProgressZeroRate(t *testing.T) {
+	p := NewProgress(0, 100)
+	p.SetRate(10, 0)
+	if got := p.RemainingWall(50); got != math.MaxInt64 {
+		t.Fatalf("remaining at rate 0 = %d, want MaxInt64", got)
+	}
+	if p.Finished(1_000_000) {
+		t.Fatal("job finished while starved")
+	}
+	p.SetRate(1_000_000, 1)
+	if got := p.RemainingWall(1_000_000); got != 90 {
+		t.Fatalf("remaining %d, want 90", got)
+	}
+}
+
+func TestProgressPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero work", func() { NewProgress(0, 0) })
+	mustPanic("backwards time", func() {
+		p := NewProgress(100, 10)
+		p.Done(50)
+	})
+	mustPanic("bad rate", func() {
+		p := NewProgress(0, 10)
+		p.SetRate(1, 1.5)
+	})
+}
+
+// Property: the progress engine agrees with the paper's slot-sum
+// formulation (Eqs. 5-6): for any piecewise-constant configuration
+// sequence, work done equals sum over slots of rate x slot length.
+func TestPropertyEngineMatchesSlotSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		kind := Ideal
+		if trial%2 == 1 {
+			kind = WorstCase
+		}
+		full := 1 + rng.Intn(48)
+		nodes := 1 + rng.Intn(4)
+		work := float64(1 + rng.Intn(100000))
+		p := NewProgress(0, work)
+		now := int64(0)
+		var slotSum float64
+		for s := 0; s < 10; s++ {
+			shares := make([]int, nodes)
+			for i := range shares {
+				shares[i] = rng.Intn(full + 1)
+			}
+			r := Rate(kind, shares, full, nil)
+			slot := int64(1 + rng.Intn(400))
+			p.SetRate(now, r)
+			slotSum += r * float64(slot)
+			now += slot
+			if slotSum >= work {
+				break
+			}
+		}
+		if slotSum > work {
+			slotSum = work
+		}
+		if got := p.Done(now); math.Abs(got-slotSum) > 1e-6 {
+			t.Fatalf("trial %d: engine done %v, slot sum %v", trial, got, slotSum)
+		}
+	}
+}
+
+// Property: under any sequence of rate changes, total completion wall time
+// is never shorter than the work amount, and RemainingWall answers are
+// consistent: advancing by the reported remaining always finishes the job.
+func TestPropertyProgressConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		work := float64(1 + rng.Intn(10000))
+		p := NewProgress(0, work)
+		now := int64(0)
+		for i := 0; i < 20; i++ {
+			now += int64(rng.Intn(500))
+			r := float64(rng.Intn(10)+1) / 10 // avoid rate 0 so it terminates
+			p.SetRate(now, r)
+			if p.Finished(now) {
+				break
+			}
+		}
+		rem := p.RemainingWall(now)
+		if rem < 0 {
+			t.Fatalf("negative remaining %d", rem)
+		}
+		if rem == 0 {
+			if !p.Finished(now) {
+				t.Fatal("zero remaining but unfinished")
+			}
+			continue
+		}
+		if p.Finished(now + rem - 1) {
+			// allowed only due to ceil rounding within one second
+			if rem > 1 && p.Finished(now+rem-2) {
+				t.Fatalf("finished %ds early", 2)
+			}
+		}
+		if !p.Finished(now + rem) {
+			t.Fatalf("not finished after remaining elapsed (trial %d)", trial)
+		}
+		if now+rem < int64(work) {
+			t.Fatalf("completion faster than the work: %d < %v", now+rem, work)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package nodemgr
+
+import (
+	"testing"
+
+	"sdpolicy/internal/cluster"
+	"sdpolicy/internal/drom"
+	"sdpolicy/internal/job"
+)
+
+func mn4() cluster.Config { return cluster.Config{Nodes: 8, Sockets: 2, CoresPerSocket: 24} }
+
+func newMgr(t *testing.T, cfg cluster.Config, sf float64) (*Manager, *cluster.Cluster, *drom.Registry) {
+	t.Helper()
+	cl := cluster.New(cfg)
+	reg := drom.NewRegistry(cfg.CoresPerNode(), 0)
+	return New(cl, reg, sf), cl, reg
+}
+
+func TestSplitSocketAligned(t *testing.T) {
+	m, _, _ := newMgr(t, mn4(), 0.5)
+	// MareNostrum4: two sockets, SF 0.5 => one socket each (24/24).
+	if m.OwnerKeepCores() != 24 || m.GuestCores() != 24 {
+		t.Fatalf("split %d/%d, want 24/24", m.OwnerKeepCores(), m.GuestCores())
+	}
+	if m.SharingFactor() != 0.5 {
+		t.Fatalf("sharing factor %v", m.SharingFactor())
+	}
+}
+
+func TestSplitFourSockets(t *testing.T) {
+	cfg := cluster.Config{Nodes: 2, Sockets: 4, CoresPerSocket: 8}
+	m, _, _ := newMgr(t, cfg, 0.25)
+	// owner keeps round(4*0.25)=1 socket = 8 cores, guest 24
+	if m.OwnerKeepCores() != 8 || m.GuestCores() != 24 {
+		t.Fatalf("split %d/%d, want 8/24", m.OwnerKeepCores(), m.GuestCores())
+	}
+}
+
+func TestSplitSingleSocketFallsBackToCores(t *testing.T) {
+	cfg := cluster.Config{Nodes: 2, Sockets: 1, CoresPerSocket: 8}
+	m, _, _ := newMgr(t, cfg, 0.5)
+	if m.OwnerKeepCores() != 4 || m.GuestCores() != 4 {
+		t.Fatalf("split %d/%d, want 4/4", m.OwnerKeepCores(), m.GuestCores())
+	}
+	// extreme factors stay within [1, total-1]
+	lo, _, _ := newMgr(t, cfg, 0.01)
+	if lo.OwnerKeepCores() != 1 {
+		t.Fatalf("low factor keep %d, want 1", lo.OwnerKeepCores())
+	}
+	hi, _, _ := newMgr(t, cfg, 0.99)
+	if hi.OwnerKeepCores() != 7 {
+		t.Fatalf("high factor keep %d, want 7", hi.OwnerKeepCores())
+	}
+}
+
+func TestBadSharingFactorPanics(t *testing.T) {
+	for _, sf := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("sharing factor %v accepted", sf)
+				}
+			}()
+			newMgr(t, mn4(), sf)
+		}()
+	}
+}
+
+func TestPlaceOwner(t *testing.T) {
+	m, cl, reg := newMgr(t, mn4(), 0.5)
+	nodes, err := m.PlaceOwner(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range nodes {
+		mask, ok := reg.GetMask(nd, 1)
+		if !ok || mask.Count() != 48 {
+			t.Fatalf("node %d owner mask %v", nd, mask)
+		}
+	}
+	if got := m.Shares(1, nodes); len(got) != 3 || got[0] != 48 {
+		t.Fatalf("shares %v", got)
+	}
+	if _, err := m.PlaceOwner(2, 100); err == nil {
+		t.Fatal("oversized placement accepted")
+	}
+	_ = cl
+}
+
+func TestGuestRoundTrip(t *testing.T) {
+	m, cl, reg := newMgr(t, mn4(), 0.5)
+	nodes, _ := m.PlaceOwner(1, 2)
+	m.StartGuest(2, []Mate{{ID: 1, Nodes: nodes}})
+	// owner on socket 0, guest on socket 1, disjoint
+	for _, nd := range nodes {
+		om, _ := reg.GetMask(nd, 1)
+		gm, _ := reg.GetMask(nd, 2)
+		if om.Count() != 24 || gm.Count() != 24 {
+			t.Fatalf("node %d masks owner=%v guest=%v", nd, om, gm)
+		}
+		if om.Overlaps(gm) {
+			t.Fatalf("node %d masks overlap", nd)
+		}
+		if !om.Has(0) || !gm.Has(24) {
+			t.Fatalf("socket isolation broken: owner=%v guest=%v", om, gm)
+		}
+	}
+	// guest ends: owner absorbs the whole node again
+	affected, _ := m.Finish(2, nodes, func(job.ID) bool { return true })
+	if len(affected) != 1 || affected[0] != 1 {
+		t.Fatalf("affected %v, want [1]", affected)
+	}
+	for _, nd := range nodes {
+		if cl.CoresOf(nd, 1) != 48 {
+			t.Fatalf("owner not expanded on node %d", nd)
+		}
+		om, _ := reg.GetMask(nd, 1)
+		if om.Count() != 48 {
+			t.Fatalf("owner mask not expanded: %v", om)
+		}
+	}
+	if err := reg.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnerEndsGuestAbsorbs(t *testing.T) {
+	m, cl, _ := newMgr(t, mn4(), 0.5)
+	nodes, _ := m.PlaceOwner(1, 2)
+	m.StartGuest(2, []Mate{{ID: 1, Nodes: nodes}})
+	affected, _ := m.Finish(1, nodes, func(job.ID) bool { return true })
+	if len(affected) != 1 || affected[0] != 2 {
+		t.Fatalf("affected %v, want [2]", affected)
+	}
+	for _, nd := range nodes {
+		if cl.CoresOf(nd, 2) != 48 {
+			t.Fatalf("guest share on node %d = %d, want 48", nd, cl.CoresOf(nd, 2))
+		}
+	}
+	// node frees only when the guest also ends
+	if cl.FreeNodes() != 6 {
+		t.Fatalf("free nodes %d, want 6", cl.FreeNodes())
+	}
+	m.Finish(2, nodes, func(job.ID) bool { return true })
+	if cl.FreeNodes() != 8 {
+		t.Fatalf("free nodes %d, want 8", cl.FreeNodes())
+	}
+}
+
+func TestMoldableGuestDoesNotAbsorb(t *testing.T) {
+	m, cl, _ := newMgr(t, mn4(), 0.5)
+	nodes, _ := m.PlaceOwner(1, 1)
+	m.StartGuest(2, []Mate{{ID: 1, Nodes: nodes}})
+	// guest is moldable: canExpand says no
+	affected, _ := m.Finish(1, nodes, func(job.ID) bool { return false })
+	if len(affected) != 0 {
+		t.Fatalf("affected %v, want none", affected)
+	}
+	if cl.CoresOf(nodes[0], 2) != 24 {
+		t.Fatalf("moldable guest expanded to %d cores", cl.CoresOf(nodes[0], 2))
+	}
+}
+
+func TestExpandToFull(t *testing.T) {
+	m, cl, reg := newMgr(t, mn4(), 0.5)
+	nodes, _ := m.PlaceOwner(1, 1)
+	m.StartGuest(2, []Mate{{ID: 1, Nodes: nodes}})
+	m.Finish(2, nodes, func(job.ID) bool { return false }) // owner stays shrunk
+	if cl.CoresOf(nodes[0], 1) != 24 {
+		t.Fatalf("owner share %d", cl.CoresOf(nodes[0], 1))
+	}
+	m.ExpandToFull(1, nodes)
+	if cl.CoresOf(nodes[0], 1) != 48 {
+		t.Fatalf("owner share after expand %d", cl.CoresOf(nodes[0], 1))
+	}
+	mask, _ := reg.GetMask(nodes[0], 1)
+	if mask.Count() != 48 {
+		t.Fatalf("owner mask after expand %v", mask)
+	}
+}
+
+func TestMultiMateGuest(t *testing.T) {
+	m, cl, reg := newMgr(t, mn4(), 0.5)
+	n1, _ := m.PlaceOwner(1, 2)
+	n2, _ := m.PlaceOwner(2, 1)
+	guestNodes := append(append([]int{}, n1...), n2...)
+	m.StartGuest(3, []Mate{{ID: 1, Nodes: n1}, {ID: 2, Nodes: n2}})
+	shares := m.Shares(3, guestNodes)
+	for i, s := range shares {
+		if s != 24 {
+			t.Fatalf("guest share[%d] = %d, want 24", i, s)
+		}
+	}
+	// first mate ends: guest expands only on that mate's nodes
+	m.Finish(1, n1, func(job.ID) bool { return true })
+	shares = m.Shares(3, guestNodes)
+	if shares[0] != 48 || shares[1] != 48 || shares[2] != 24 {
+		t.Fatalf("guest shares after first mate end: %v", shares)
+	}
+	if err := reg.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDROMOverheadAccounted(t *testing.T) {
+	cfg := mn4()
+	cl := cluster.New(cfg)
+	reg := drom.NewRegistry(cfg.CoresPerNode(), 3)
+	m := New(cl, reg, 0.5)
+	nodes, _ := m.PlaceOwner(1, 2)
+	oh := m.StartGuest(2, []Mate{{ID: 1, Nodes: nodes}})
+	if oh != 2*3 { // one shrink per node
+		t.Fatalf("start overhead %d, want 6", oh)
+	}
+	_, oh2 := m.Finish(2, nodes, func(job.ID) bool { return true })
+	if oh2 != 2*3 { // one relayout per node
+		t.Fatalf("finish overhead %d, want 6", oh2)
+	}
+}

@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"testing"
+
+	"sdpolicy/internal/job"
+	"sdpolicy/internal/workload"
+)
+
+// featureSpec builds a 4-node machine where nodes 0-1 carry "bigmem".
+func featureSpec(jobs []job.Job) workload.Spec {
+	spec := tiny(4, jobs)
+	spec.NodeFeatures = map[int][]string{
+		0: {"bigmem"},
+		1: {"bigmem"},
+	}
+	return spec
+}
+
+func withFeatures(j job.Job, feats ...string) job.Job {
+	j.Features = feats
+	return j
+}
+
+func TestFeatureJobLandsOnMatchingNodes(t *testing.T) {
+	spec := featureSpec([]job.Job{
+		withFeatures(mj(1, 0, 100, 100, 2, job.Rigid), "bigmem"),
+	})
+	res := runOrFail(t, spec, Defaults())
+	if byID(t, res, 1).Start != 0 {
+		t.Fatal("feature job should start immediately on matching nodes")
+	}
+}
+
+func TestFeatureJobWaitsForMatchingNodes(t *testing.T) {
+	// Job 1 (plain) grabs whatever nodes the allocator picks; to pin the
+	// bigmem nodes we make it require them. Job 2 also needs bigmem and
+	// must wait for job 1 even though two plain nodes are free.
+	spec := featureSpec([]job.Job{
+		withFeatures(mj(1, 0, 500, 500, 2, job.Rigid), "bigmem"),
+		withFeatures(mj(2, 10, 100, 100, 2, job.Rigid), "bigmem"),
+		mj(3, 20, 100, 100, 2, job.Rigid), // plain: backfills on free nodes
+	})
+	res := runOrFail(t, spec, Defaults())
+	if got := byID(t, res, 2).Start; got != 500 {
+		t.Fatalf("bigmem job started at %d, want 500 (after the bigmem holder)", got)
+	}
+	if got := byID(t, res, 3).Start; got != 20 {
+		t.Fatalf("plain job started at %d, want 20 (free plain nodes)", got)
+	}
+}
+
+func TestOversizedFeatureRequestRejected(t *testing.T) {
+	spec := featureSpec([]job.Job{
+		withFeatures(mj(1, 0, 100, 100, 3, job.Rigid), "bigmem"), // only 2 bigmem nodes
+	})
+	if _, err := Run(spec, Defaults()); err == nil {
+		t.Fatal("job requiring more feature nodes than exist was accepted")
+	}
+}
+
+func TestMateMustSatisfyGuestFeatures(t *testing.T) {
+	// The running mate holds plain nodes; a bigmem guest cannot use it
+	// even though the weights match.
+	spec := featureSpec([]job.Job{
+		withFeatures(mj(1, 0, 2000, 2000, 2, job.Malleable), "bigmem"),
+		mj(2, 0, 2000, 2000, 2, job.Malleable), // plain mate on nodes 2-3
+		withFeatures(mj(3, 10, 100, 100, 2, job.Malleable), "bigmem"),
+	})
+	cfg := sdConfig()
+	res := runOrFail(t, spec, cfg)
+	g := byID(t, res, 3)
+	if !g.MalleableStart {
+		t.Fatal("guest should co-schedule with the bigmem mate")
+	}
+	// the plain job must never have been shrunk for this guest
+	if byID(t, res, 2).WasMate {
+		t.Fatal("plain-node mate hosted a bigmem guest")
+	}
+	if !byID(t, res, 1).WasMate {
+		t.Fatal("bigmem mate not used")
+	}
+}
+
+func TestFeatureJobsCompleteMixedWorkload(t *testing.T) {
+	spec := workload.WL5(0.2, 3)
+	spec.NodeFeatures = map[int][]string{}
+	for nd := 0; nd < spec.Cluster.Nodes/2; nd++ {
+		spec.NodeFeatures[nd] = []string{"fast"}
+	}
+	for i := range spec.Jobs {
+		if i%5 == 0 && spec.Jobs[i].ReqNodes <= spec.Cluster.Nodes/2 {
+			spec.Jobs[i].Features = []string{"fast"}
+		}
+	}
+	for _, cfg := range []Config{Defaults(), sdConfig()} {
+		res, err := Run(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Report.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

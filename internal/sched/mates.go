@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"sdpolicy/internal/job"
+	"sdpolicy/internal/model"
+)
+
+// mateSelection is the solution of the resource selection problem
+// (Section 3.2): the mates that shrink, how many free nodes are mixed in
+// (IncludeFreeNodes option), and the total Performance Impact.
+type mateSelection struct {
+	mates     []*rjob
+	freeNodes int
+	penalty   float64 // PI = sum of mate penalties (Eq. 1)
+}
+
+// candidate is a mate with its Eq. 4 penalty.
+type candidate struct {
+	m *rjob
+	p float64
+}
+
+// penalty evaluates Eq. 4 for a prospective mate: the predicted slowdown
+// (wait + increase + req_time)/req_time after committing to host the
+// guest until guestEnd.
+func (s *Scheduler) penalty(m *rjob, now, guestEnd int64) float64 {
+	keepRate := float64(s.mgr.OwnerKeepCores()) / float64(s.cl.Config().CoresPerNode())
+	if s.cfg.Policy == Oversubscribe {
+		keepRate *= 1 - s.cfg.OversubPenalty
+	}
+	newInc := model.MateIncrease(guestEnd-now, keepRate)
+	wait := float64(m.start - m.j.Submit)
+	req := float64(m.j.ReqTime)
+	return (wait + m.increase + newInc + req) / req
+}
+
+// eligibleMate reports whether m can shrink for the guest g ending at
+// guestEnd: malleable, not hosting, not hosted, holding all its nodes at
+// full cores, shrink floor respected, long enough that the guest
+// finishes inside its allocation (Section 3.2.4 constraint), and on
+// nodes satisfying the guest's feature constraints.
+func (s *Scheduler) eligibleMate(m, g *rjob, now, guestEnd int64) bool {
+	if s.cfg.Policy == SDPolicy && m.j.Kind != job.Malleable {
+		return false // only malleable jobs can shrink; oversubscription shares blindly
+	}
+	if m.guest != nil || len(m.hosts) > 0 {
+		return false
+	}
+	if s.mgr.OwnerKeepCores() < m.j.TasksPerNode {
+		return false
+	}
+	if m.predEnd(now) < guestEnd {
+		return false
+	}
+	full := s.cl.Config().CoresPerNode()
+	for _, share := range s.mgr.Shares(m.j.ID, m.nodes) {
+		if share != full {
+			return false
+		}
+	}
+	if len(g.j.Features) > 0 {
+		for _, nd := range m.nodes {
+			if !s.cl.NodeHasFeatures(nd, g.j.Features) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// selectMates implements Listing 2's pick_mates: filter and sort the
+// running jobs by penalty, then search combinations of at most MaxMates
+// mates whose node counts sum to the request (constraint 3), each below
+// the MAX_SLOWDOWN cut-off (constraint 2), minimising the Performance
+// Impact (Eq. 1). Returns nil when no feasible combination exists.
+func (s *Scheduler) selectMates(r *rjob, now, guestEnd int64) *mateSelection {
+	W := r.j.ReqNodes
+	maxSD := s.maxSD
+	if s.cfg.Cutoff == CutoffStatic {
+		if qsd, ok := s.cfg.QueueMaxSlowdown[r.j.Queue]; ok {
+			maxSD = qsd // per-queue QoS cut-off (§4.1)
+		}
+	}
+	var cands []candidate
+	for _, m := range s.running {
+		if !s.eligibleMate(m, r, now, guestEnd) {
+			continue
+		}
+		if len(m.nodes) > W {
+			continue // a mate shrinks on all its nodes; larger mates overshoot
+		}
+		p := s.penalty(m, now, guestEnd)
+		if p >= maxSD {
+			continue // Eq. 2 cut-off
+		}
+		cands = append(cands, candidate{m: m, p: p})
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	// Deterministic order: penalty ascending, job id as tie-break (the
+	// running set is a map).
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].p != cands[j].p {
+			return cands[i].p < cands[j].p
+		}
+		return cands[i].m.j.ID < cands[j].m.j.ID
+	})
+	if len(cands) > s.cfg.CandidateCap {
+		cands = cands[:s.cfg.CandidateCap]
+	}
+
+	freeAvail := 0
+	if s.cfg.IncludeFreeNodes {
+		freeAvail = s.cl.FreeNodesWith(r.j.Features)
+	}
+
+	best := mateSelection{penalty: math.Inf(1)}
+	cur := make([]*rjob, 0, s.cfg.MaxMates)
+	var dfs func(start, needed int, pen float64)
+	dfs = func(start, needed int, pen float64) {
+		if pen >= best.penalty {
+			return
+		}
+		if len(cur) > 0 && (needed == 0 || needed <= freeAvail) {
+			best.mates = append(best.mates[:0], cur...)
+			best.freeNodes = needed
+			best.penalty = pen
+			if needed == 0 {
+				return
+			}
+			// A free-node completion found; adding mates only raises the
+			// penalty, but an exact mate fit deeper may still use fewer
+			// free nodes at equal penalty — the paper minimises PI, so
+			// stop here.
+			return
+		}
+		if len(cur) == s.cfg.MaxMates {
+			return
+		}
+		for i := start; i < len(cands); i++ {
+			w := len(cands[i].m.nodes)
+			if w > needed {
+				continue
+			}
+			cur = append(cur, cands[i].m)
+			dfs(i+1, needed-w, pen+cands[i].p)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	dfs(0, W, 0)
+	if math.IsInf(best.penalty, 1) {
+		return nil
+	}
+	return &best
+}

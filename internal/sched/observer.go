@@ -1,0 +1,52 @@
+package sched
+
+import "sdpolicy/internal/job"
+
+// Observer receives scheduling events during a simulation. All methods
+// are called synchronously from the event loop; implementations must not
+// call back into the scheduler.
+type Observer interface {
+	// JobSubmitted fires when a job enters the queue.
+	JobSubmitted(now int64, id job.ID)
+	// JobStarted fires when a job is placed, statically or malleably.
+	JobStarted(now int64, id job.ID, nodes int, malleable bool)
+	// JobReconfigured fires when a running job's total core share
+	// changes (shrink, expand, absorb).
+	JobReconfigured(now int64, id job.ID, totalCores int)
+	// JobFinished fires at completion.
+	JobFinished(now int64, id job.ID)
+	// Usage fires whenever the machine's allocated core total changes.
+	Usage(now int64, usedCores int)
+}
+
+// notify helpers keep call sites clean when no observer is configured.
+
+func (s *Scheduler) obsSubmitted(id job.ID) {
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.JobSubmitted(s.eng.Now(), id)
+	}
+}
+
+func (s *Scheduler) obsStarted(r *rjob, malleable bool) {
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.JobStarted(s.eng.Now(), r.j.ID, len(r.nodes), malleable)
+		s.cfg.Observer.Usage(s.eng.Now(), s.cl.UsedCores())
+	}
+}
+
+func (s *Scheduler) obsReconfigured(r *rjob) {
+	if s.cfg.Observer != nil {
+		total := 0
+		for _, c := range s.mgr.Shares(r.j.ID, r.nodes) {
+			total += c
+		}
+		s.cfg.Observer.JobReconfigured(s.eng.Now(), r.j.ID, total)
+	}
+}
+
+func (s *Scheduler) obsFinished(id job.ID) {
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.JobFinished(s.eng.Now(), id)
+		s.cfg.Observer.Usage(s.eng.Now(), s.cl.UsedCores())
+	}
+}

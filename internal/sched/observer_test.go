@@ -1,0 +1,57 @@
+package sched
+
+import (
+	"testing"
+
+	"sdpolicy/internal/job"
+	"sdpolicy/internal/trace"
+	"sdpolicy/internal/workload"
+)
+
+// The trace recorder must satisfy the observer contract.
+var _ Observer = (*trace.Recorder)(nil)
+
+func TestObserverReceivesLifecycle(t *testing.T) {
+	rec := trace.NewRecorder()
+	cfg := sdConfig()
+	cfg.Observer = rec
+	spec := tiny(2, []job.Job{
+		mj(1, 0, 1000, 1000, 2, job.Malleable),
+		mj(2, 10, 100, 100, 2, job.Malleable),
+	})
+	res := runOrFail(t, spec, cfg)
+	if rec.Count(trace.Submitted) != 2 {
+		t.Fatalf("submitted events %d, want 2", rec.Count(trace.Submitted))
+	}
+	if rec.Count(trace.Started) != 1 || rec.Count(trace.StartedMall) != 1 {
+		t.Fatalf("start events: static=%d malleable=%d",
+			rec.Count(trace.Started), rec.Count(trace.StartedMall))
+	}
+	if rec.Count(trace.Finished) != 2 {
+		t.Fatalf("finished events %d, want 2", rec.Count(trace.Finished))
+	}
+	// the mate shrank at guest start and expanded at guest end
+	if rec.Count(trace.Reconfigured) < 2 {
+		t.Fatalf("reconfiguration events %d, want >= 2", rec.Count(trace.Reconfigured))
+	}
+	if len(rec.Timeline()) == 0 {
+		t.Fatal("no usage timeline recorded")
+	}
+	_ = res
+}
+
+func TestObserverUtilizationMatchesMeter(t *testing.T) {
+	rec := trace.NewRecorder()
+	cfg := Defaults()
+	cfg.Observer = rec
+	spec := workload.WL5(0.15, 2)
+	res, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := rec.MeanUtilization(spec.Cluster.TotalCores())
+	if util <= 0 || util > 1 {
+		t.Fatalf("mean utilization %v out of (0,1]", util)
+	}
+	_ = res
+}

@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"testing"
+
+	"sdpolicy/internal/job"
+	"sdpolicy/internal/model"
+	"sdpolicy/internal/workload"
+)
+
+func oversubConfig(penalty float64) Config {
+	cfg := Defaults()
+	cfg.Policy = Oversubscribe
+	cfg.OversubPenalty = penalty
+	cfg.RuntimeModel = model.WorstCase
+	return cfg
+}
+
+func TestOversubscribeSharesWithRigidJobs(t *testing.T) {
+	// Both jobs rigid: SD-Policy cannot touch them, oversubscription can.
+	spec := tiny(2, []job.Job{
+		mj(1, 0, 1000, 1000, 2, job.Rigid),
+		mj(2, 10, 100, 100, 2, job.Rigid),
+	})
+	sd := runOrFail(t, spec, sdConfig())
+	if sd.MalleableStarts != 0 {
+		t.Fatal("SD-Policy co-scheduled rigid jobs")
+	}
+	over := runOrFail(t, spec, oversubConfig(0))
+	if over.MalleableStarts != 1 {
+		t.Fatal("oversubscription did not co-schedule")
+	}
+	// with no penalty, timing matches SD arithmetic: B ends at 210
+	if got := byID(t, over, 2).End; got != 210 {
+		t.Fatalf("co-scheduled job end %d, want 210", got)
+	}
+}
+
+func TestOversubscribePenaltySlowsBoth(t *testing.T) {
+	spec := tiny(2, []job.Job{
+		mj(1, 0, 1000, 1000, 2, job.Rigid),
+		mj(2, 10, 100, 100, 2, job.Rigid),
+	})
+	over := runOrFail(t, spec, oversubConfig(0.5))
+	b := byID(t, over, 2)
+	if !b.MalleableStart {
+		t.Fatal("not co-scheduled")
+	}
+	// guest rate = 0.5 * (1-0.5) = 0.25 => runtime 400, end 410
+	if b.End != 410 {
+		t.Fatalf("guest end %d, want 410", b.End)
+	}
+	// mate also thrashes at rate 0.25 while sharing [10,410]:
+	// progress 10 + 400*0.25 = 110; remaining 890 => ends 1300.
+	a := byID(t, over, 1)
+	if a.End != 1300 {
+		t.Fatalf("mate end %d, want 1300", a.End)
+	}
+}
+
+func TestOversubscribeSelfGates(t *testing.T) {
+	// With a huge penalty the predicted shared end exceeds the static
+	// wait, so the policy declines to share (Listing 1's estimate).
+	spec := tiny(2, []job.Job{
+		mj(1, 0, 250, 250, 2, job.Rigid),
+		mj(2, 10, 100, 100, 2, job.Rigid),
+	})
+	over := runOrFail(t, spec, oversubConfig(0.9))
+	if byID(t, over, 2).MalleableStart {
+		t.Fatal("shared despite a worse prediction")
+	}
+}
+
+func TestSDBeatsOversubscription(t *testing.T) {
+	// The paper's motivation (§1): malleability outperforms blind
+	// resource sharing because adapted jobs avoid contention. Same
+	// workload, fully malleable; identical sharing opportunities, but
+	// oversubscription pays the penalty on both sides.
+	spec := workload.WL5(0.25, 3)
+	sd := runOrFail(t, spec, sdConfig())
+	over := runOrFail(t, spec, oversubConfig(0.25))
+	if !(sd.Report.AvgSlowdown() < over.Report.AvgSlowdown()) {
+		t.Fatalf("SD slowdown %.1f not better than oversubscription %.1f",
+			sd.Report.AvgSlowdown(), over.Report.AvgSlowdown())
+	}
+	static := runOrFail(t, spec, Defaults())
+	if !(over.Report.AvgSlowdown() < static.Report.AvgSlowdown()) {
+		t.Fatalf("oversubscription %.1f should still beat static %.1f here",
+			over.Report.AvgSlowdown(), static.Report.AvgSlowdown())
+	}
+}
+
+func TestQueueQoSCutoffs(t *testing.T) {
+	// Two identical guests in different queues: the "restricted" queue's
+	// cut-off blocks malleability, the default allows it (§4.1's QoS
+	// suggestion).
+	guestA := mj(2, 10, 100, 100, 2, job.Malleable)
+	guestA.Queue = "restricted"
+	spec := tiny(2, []job.Job{
+		mj(1, 0, 1000, 1000, 2, job.Malleable),
+		guestA,
+	})
+	cfg := sdConfig()
+	cfg.QueueMaxSlowdown = map[string]float64{"restricted": 1.01}
+	res := runOrFail(t, spec, cfg)
+	if byID(t, res, 2).MalleableStart {
+		t.Fatal("restricted queue cut-off ignored")
+	}
+	// same job in the default queue co-schedules
+	spec.Jobs[1].Queue = ""
+	res = runOrFail(t, spec, cfg)
+	if !byID(t, res, 2).MalleableStart {
+		t.Fatal("default queue should allow malleability")
+	}
+	// a permissive named queue also allows it
+	spec.Jobs[1].Queue = "fast"
+	cfg.QueueMaxSlowdown["fast"] = 100
+	res = runOrFail(t, spec, cfg)
+	if !byID(t, res, 2).MalleableStart {
+		t.Fatal("permissive queue blocked malleability")
+	}
+}
+
+func TestOversubConfigValidation(t *testing.T) {
+	cfg := Defaults()
+	cfg.OversubPenalty = 1.0
+	if cfg.Validate() == nil {
+		t.Fatal("penalty 1.0 accepted")
+	}
+	cfg.OversubPenalty = -0.1
+	if cfg.Validate() == nil {
+		t.Fatal("negative penalty accepted")
+	}
+}

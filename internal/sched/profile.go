@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// profile is the availability map of Listing 1's get_wait_time: a step
+// function of how many whole nodes are free at each future instant,
+// built from the predicted ends of running jobs and extended with the
+// reservations the pass creates (conservative backfill).
+type profile struct {
+	totalNodes int
+	now        int64
+	availNow   int
+	// breakpoints, sorted by time: at each time the availability changes
+	// by delta.
+	times  []int64
+	deltas []int
+}
+
+// newProfile builds the step function. releases holds, for every busy
+// node, the time it is predicted to become free (one entry per node;
+// shared nodes already collapsed to their max by the caller).
+func newProfile(now int64, totalNodes, freeNodes int, releases []int64) *profile {
+	p := &profile{totalNodes: totalNodes, now: now, availNow: freeNodes}
+	if len(releases) == 0 {
+		return p
+	}
+	sorted := make([]int64, len(releases))
+	copy(sorted, releases)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, t := range sorted {
+		if t <= now {
+			// A predicted end in the past (job overran its request and
+			// prediction): treat as releasing immediately after now.
+			t = now + 1
+		}
+		n := len(p.times)
+		if n > 0 && p.times[n-1] == t {
+			p.deltas[n-1]++
+		} else {
+			p.times = append(p.times, t)
+			p.deltas = append(p.deltas, 1)
+		}
+	}
+	return p
+}
+
+// earliestStart returns the first time >= now at which `nodes` nodes are
+// continuously available for `dur` seconds.
+func (p *profile) earliestStart(nodes int, dur int64) int64 {
+	if nodes > p.totalNodes {
+		panic(fmt.Sprintf("sched: request %d of %d nodes", nodes, p.totalNodes))
+	}
+	if dur <= 0 {
+		panic(fmt.Sprintf("sched: non-positive duration %d", dur))
+	}
+	start := p.now
+	avail := p.availNow
+	i := 0
+	if avail < nodes {
+		// advance to the first instant with enough nodes
+		for i < len(p.times) {
+			avail += p.deltas[i]
+			if avail >= nodes {
+				start = p.times[i]
+				i++
+				break
+			}
+			i++
+		}
+		if avail < nodes {
+			panic("sched: availability never reaches the request; profile inconsistent")
+		}
+	}
+	// check the window [start, start+dur); restart after any dip
+	for i < len(p.times) && p.times[i] < start+dur {
+		avail += p.deltas[i]
+		if avail < nodes {
+			// dip below: find the next recovery point
+			i++
+			for i < len(p.times) {
+				avail += p.deltas[i]
+				if avail >= nodes {
+					start = p.times[i]
+					i++
+					break
+				}
+				i++
+			}
+			if avail < nodes {
+				panic("sched: availability never recovers; profile inconsistent")
+			}
+			continue
+		}
+		i++
+	}
+	return start
+}
+
+// reserve subtracts `nodes` nodes during [from, to) — a conservative
+// backfill reservation, or the footprint of a job started by this pass.
+func (p *profile) reserve(from, to int64, nodes int) {
+	if from < p.now || to <= from {
+		panic(fmt.Sprintf("sched: bad reservation [%d,%d) at now=%d", from, to, p.now))
+	}
+	if from == p.now {
+		p.availNow -= nodes
+		if p.availNow < 0 {
+			panic("sched: reservation exceeds current availability")
+		}
+	} else {
+		p.insert(from, -nodes)
+	}
+	p.insert(to, nodes)
+}
+
+// insert adds a delta at time t, keeping the breakpoint list sorted.
+func (p *profile) insert(t int64, delta int) {
+	i := sort.Search(len(p.times), func(k int) bool { return p.times[k] >= t })
+	if i < len(p.times) && p.times[i] == t {
+		p.deltas[i] += delta
+		return
+	}
+	p.times = append(p.times, 0)
+	p.deltas = append(p.deltas, 0)
+	copy(p.times[i+1:], p.times[i:])
+	copy(p.deltas[i+1:], p.deltas[i:])
+	p.times[i] = t
+	p.deltas[i] = delta
+}

@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refAvail computes availability at time t by brute force from the
+// profile's breakpoints.
+func refAvail(p *profile, t int64) int {
+	avail := p.availNow
+	for i, bt := range p.times {
+		if bt <= t {
+			avail += p.deltas[i]
+		}
+	}
+	return avail
+}
+
+// refEarliest finds the earliest feasible start by scanning candidate
+// times (now plus every breakpoint) and checking the full window.
+func refEarliest(p *profile, nodes int, dur int64) int64 {
+	candidates := append([]int64{p.now}, p.times...)
+	for _, start := range candidates {
+		if start < p.now {
+			continue
+		}
+		ok := true
+		// check at start and at every breakpoint inside the window
+		if refAvail(p, start) < nodes {
+			ok = false
+		}
+		for _, bt := range p.times {
+			if bt > start && bt < start+dur && refAvail(p, bt) < nodes {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return start
+		}
+	}
+	panic("refEarliest: no feasible start")
+}
+
+// Property: the incremental sweep in earliestStart agrees with the
+// brute-force reference on random profiles with random reservations.
+func TestPropertyEarliestStartMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 500; trial++ {
+		total := 4 + rng.Intn(28)
+		busy := rng.Intn(total + 1)
+		releases := make([]int64, busy)
+		for i := range releases {
+			releases[i] = int64(1 + rng.Intn(1000))
+		}
+		p := newProfile(0, total, total-busy, releases)
+		// sprinkle reservations that respect availability
+		for k := 0; k < rng.Intn(6); k++ {
+			nodes := 1 + rng.Intn(total)
+			dur := int64(1 + rng.Intn(500))
+			est := p.earliestStart(nodes, dur)
+			p.reserve(est, est+dur, nodes)
+		}
+		nodes := 1 + rng.Intn(total)
+		dur := int64(1 + rng.Intn(800))
+		got := p.earliestStart(nodes, dur)
+		want := refEarliest(p, nodes, dur)
+		if got != want {
+			t.Fatalf("trial %d: earliestStart(%d,%d) = %d, brute force %d\n"+
+				"availNow=%d times=%v deltas=%v",
+				trial, nodes, dur, got, want, p.availNow, p.times, p.deltas)
+		}
+		// the result must itself be feasible
+		if refAvail(p, got) < nodes {
+			t.Fatalf("trial %d: infeasible start", trial)
+		}
+	}
+}
+
+// Property: reservations are conserved — after any mix of reservations,
+// availability far in the future returns to the full machine.
+func TestPropertyReservationsConserveNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4096))
+	for trial := 0; trial < 200; trial++ {
+		total := 2 + rng.Intn(30)
+		busy := rng.Intn(total + 1)
+		releases := make([]int64, busy)
+		for i := range releases {
+			releases[i] = int64(1 + rng.Intn(400))
+		}
+		p := newProfile(0, total, total-busy, releases)
+		for k := 0; k < rng.Intn(8); k++ {
+			nodes := 1 + rng.Intn(total)
+			dur := int64(1 + rng.Intn(300))
+			est := p.earliestStart(nodes, dur)
+			p.reserve(est, est+dur, nodes)
+		}
+		if got := refAvail(p, 1<<40); got != total {
+			t.Fatalf("trial %d: availability at infinity %d, want %d", trial, got, total)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package sched
+
+import "testing"
+
+func TestProfileEmptyMachine(t *testing.T) {
+	p := newProfile(100, 8, 8, nil)
+	if got := p.earliestStart(8, 1000); got != 100 {
+		t.Fatalf("earliest start %d, want 100", got)
+	}
+}
+
+func TestProfileWaitsForRelease(t *testing.T) {
+	// 4 nodes: 2 free now, 2 release at t=500
+	p := newProfile(0, 4, 2, []int64{500, 500})
+	if got := p.earliestStart(2, 100); got != 0 {
+		t.Fatalf("small job start %d, want 0", got)
+	}
+	if got := p.earliestStart(4, 100); got != 500 {
+		t.Fatalf("large job start %d, want 500", got)
+	}
+	if got := p.earliestStart(3, 100); got != 500 {
+		t.Fatalf("3-node job start %d, want 500", got)
+	}
+}
+
+func TestProfileReservationBlocksWindow(t *testing.T) {
+	// 4 nodes free; a reservation takes all 4 during [1000, 1500).
+	p := newProfile(0, 4, 4, nil)
+	p.reserve(1000, 1500, 4)
+	// A job ending before 1000 fits now.
+	if got := p.earliestStart(2, 900); got != 0 {
+		t.Fatalf("short backfill start %d, want 0", got)
+	}
+	// A job overlapping the reservation must wait until it ends.
+	if got := p.earliestStart(2, 1100); got != 1500 {
+		t.Fatalf("long job start %d, want 1500", got)
+	}
+}
+
+func TestProfileDipAndRecover(t *testing.T) {
+	// 4 nodes: all free; reservation of 3 during [100, 200).
+	p := newProfile(0, 4, 4, nil)
+	p.reserve(100, 200, 3)
+	// 2-node job of duration 150 cannot span the dip; starts at 200.
+	if got := p.earliestStart(2, 150); got != 200 {
+		t.Fatalf("start %d, want 200", got)
+	}
+	// 1-node job fits through the dip.
+	if got := p.earliestStart(1, 150); got != 0 {
+		t.Fatalf("1-node start %d, want 0", got)
+	}
+}
+
+func TestProfileReserveNow(t *testing.T) {
+	p := newProfile(0, 4, 4, nil)
+	p.reserve(0, 100, 3)
+	if p.availNow != 1 {
+		t.Fatalf("availNow %d, want 1", p.availNow)
+	}
+	if got := p.earliestStart(2, 50); got != 100 {
+		t.Fatalf("start %d, want 100", got)
+	}
+}
+
+func TestProfilePastReleaseClamped(t *testing.T) {
+	// A release predicted in the past (overrun) is treated as imminent.
+	p := newProfile(1000, 2, 1, []int64{500})
+	if got := p.earliestStart(2, 100); got != 1001 {
+		t.Fatalf("start %d, want 1001", got)
+	}
+}
+
+func TestProfilePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	p := newProfile(0, 4, 4, nil)
+	mustPanic("too many nodes", func() { p.earliestStart(5, 10) })
+	mustPanic("zero duration", func() { p.earliestStart(1, 0) })
+	mustPanic("bad reservation", func() { p.reserve(10, 10, 1) })
+	mustPanic("reservation in the past", func() {
+		q := newProfile(100, 4, 4, nil)
+		q.reserve(50, 60, 1)
+	})
+	mustPanic("over-reserve now", func() {
+		q := newProfile(0, 4, 2, []int64{10, 10})
+		q.reserve(0, 5, 3)
+	})
+}

@@ -1,0 +1,72 @@
+package sched
+
+import (
+	"fmt"
+
+	"sdpolicy/internal/drom"
+	"sdpolicy/internal/metrics"
+	"sdpolicy/internal/sim"
+	"sdpolicy/internal/workload"
+)
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Workload        string
+	Policy          PolicyKind
+	Report          metrics.Report
+	EnergyJoules    float64
+	DROM            drom.Stats
+	MalleableStarts int
+	Mates           int
+	Passes          uint64
+	Events          uint64
+}
+
+// Run simulates the workload under the configuration and returns the
+// completion report. It errors on invalid inputs or if any job fails to
+// complete (which would indicate a scheduler bug).
+func Run(spec workload.Spec, cfg Config) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	s := NewScheduler(eng, cfg, spec.Cluster)
+	for nd, feats := range spec.NodeFeatures {
+		s.cl.SetNodeFeatures(nd, feats...)
+	}
+	for i := range spec.Jobs {
+		if err := s.Submit(&spec.Jobs[i]); err != nil {
+			return nil, err
+		}
+	}
+	eng.Run()
+	if len(s.results) != len(spec.Jobs) {
+		return nil, fmt.Errorf("sched: %d of %d jobs completed — scheduler deadlock",
+			len(s.results), len(spec.Jobs))
+	}
+	if len(s.queue) != 0 || len(s.running) != 0 {
+		return nil, fmt.Errorf("sched: residual state: %d queued, %d running",
+			len(s.queue), len(s.running))
+	}
+	if err := s.cl.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("sched: cluster state corrupt after run: %v", err)
+	}
+	rep := metrics.Report{Results: s.results}
+	if err := rep.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: inconsistent results: %v", err)
+	}
+	return &Result{
+		Workload:        spec.Name,
+		Policy:          cfg.Policy,
+		Report:          rep,
+		EnergyJoules:    s.meter.Joules(),
+		DROM:            s.reg.Stats(),
+		MalleableStarts: rep.MalleableStarts(),
+		Mates:           rep.Mates(),
+		Passes:          s.passes,
+		Events:          eng.Processed(),
+	}, nil
+}

@@ -1,0 +1,507 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"sdpolicy/internal/cluster"
+	"sdpolicy/internal/drom"
+	"sdpolicy/internal/energy"
+	"sdpolicy/internal/job"
+	"sdpolicy/internal/metrics"
+	"sdpolicy/internal/model"
+	"sdpolicy/internal/nodemgr"
+	"sdpolicy/internal/sim"
+	"sdpolicy/internal/stats"
+)
+
+// rjob is the scheduler's live view of one job.
+type rjob struct {
+	j     *job.Job
+	nodes []int
+	start int64
+	// prog tracks true progress (ActualTime of work) under the
+	// configured runtime model: it drives the real completion event.
+	prog *model.Progress
+	// pred tracks requested-time progress under the worst-case model:
+	// it drives every scheduler prediction (Section 3.4: "in the
+	// SD-Policy case, we use the worst case model").
+	pred  *model.Progress
+	endEv *sim.Event
+	// malleability roles
+	guest     *rjob   // guest currently hosted (this job is its mate)
+	hosts     []*rjob // mates hosting this job (this job is a guest)
+	mallStart bool
+	everMate  bool
+	// committed predicted extra runtime, the "increase" history feeding
+	// Eq. 4 penalties.
+	increase float64
+	speedup  model.SpeedupFn // per-app curve, only under model.App
+}
+
+// predEnd returns the predicted completion time at `now`.
+func (r *rjob) predEnd(now int64) int64 {
+	rem := r.pred.RemainingWall(now)
+	if rem == math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return now + rem
+}
+
+// Scheduler runs one policy over one workload.
+type Scheduler struct {
+	cfg Config
+	eng *sim.Engine
+	cl  *cluster.Cluster
+	reg *drom.Registry
+	mgr *nodemgr.Manager
+
+	queue   []*rjob
+	running map[job.ID]*rjob
+	results []metrics.JobResult
+	meter   *energy.Meter
+
+	passPending bool
+	maxSD       float64 // effective cut-off for the current pass
+
+	// counters
+	mallStarts int
+	passes     uint64
+
+	// scratch buffers reused across passes
+	relBuf []int64
+}
+
+// NewScheduler wires a scheduler over fresh substrate instances.
+func NewScheduler(eng *sim.Engine, cfg Config, machine cluster.Config) *Scheduler {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cl := cluster.New(machine)
+	reg := drom.NewRegistry(machine.CoresPerNode(), cfg.DROMOverhead)
+	idleW, coreW := cfg.EnergyIdleNodeW, cfg.EnergyCoreW
+	if idleW == 0 && coreW == 0 {
+		idleW, coreW = energy.DefaultIdleNodeW, energy.DefaultCoreW
+	}
+	return &Scheduler{
+		cfg:     cfg,
+		eng:     eng,
+		cl:      cl,
+		reg:     reg,
+		mgr:     nodemgr.New(cl, reg, cfg.SharingFactor),
+		running: make(map[job.ID]*rjob),
+		meter:   energy.NewMeter(machine.Nodes, idleW, coreW),
+		maxSD:   cfg.MaxSlowdown,
+	}
+}
+
+// Cluster exposes the cluster for inspection in tests.
+func (s *Scheduler) Cluster() *cluster.Cluster { return s.cl }
+
+// DROMStats returns the registry traffic counters.
+func (s *Scheduler) DROMStats() drom.Stats { return s.reg.Stats() }
+
+// Passes returns how many scheduling passes ran.
+func (s *Scheduler) Passes() uint64 { return s.passes }
+
+// Submit schedules the arrival of a job at its submit time.
+func (s *Scheduler) Submit(j *job.Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if j.ReqNodes > s.cl.Config().Nodes {
+		return fmt.Errorf("sched: job %d requests %d of %d nodes",
+			j.ID, j.ReqNodes, s.cl.Config().Nodes)
+	}
+	if n := s.cl.NodesWith(j.Features); j.ReqNodes > n {
+		return fmt.Errorf("sched: job %d requires features %v on %d nodes, machine has %d",
+			j.ID, j.Features, j.ReqNodes, n)
+	}
+	s.eng.Schedule(j.Submit, sim.PriSubmit, func() {
+		r := &rjob{j: j}
+		if s.cfg.RuntimeModel == model.App {
+			if s.cfg.Speedups != nil {
+				r.speedup = s.cfg.Speedups(j.App)
+			} else {
+				r.speedup = func(c int) float64 { return float64(c) }
+			}
+		}
+		s.queue = append(s.queue, r)
+		s.obsSubmitted(j.ID)
+		s.requestPass()
+	})
+	return nil
+}
+
+// requestPass coalesces scheduling passes: at most one per timestamp,
+// after all same-time submit/end events.
+func (s *Scheduler) requestPass() {
+	if s.passPending {
+		return
+	}
+	s.passPending = true
+	s.eng.Schedule(s.eng.Now(), sim.PriSched, s.pass)
+}
+
+// shareFactor returns the extra throughput multiplier of the job: under
+// the Oversubscribe policy, jobs on shared nodes pay the contention
+// penalty because they do not adapt to the reduced resources.
+func (s *Scheduler) shareFactor(r *rjob) float64 {
+	if s.cfg.Policy != Oversubscribe || s.cfg.OversubPenalty == 0 {
+		return 1
+	}
+	for _, nd := range r.nodes {
+		if s.cl.JobsOn(nd) > 1 {
+			return 1 - s.cfg.OversubPenalty
+		}
+	}
+	return 1
+}
+
+// trueRate computes the job's progress rate under the configured
+// runtime model from its current per-node shares.
+func (s *Scheduler) trueRate(r *rjob) float64 {
+	shares := s.mgr.Shares(r.j.ID, r.nodes)
+	return model.Rate(s.cfg.RuntimeModel, shares, s.cl.Config().CoresPerNode(), r.speedup) *
+		s.shareFactor(r)
+}
+
+// predRate computes the prediction rate: always the worst-case model, so
+// the scheduler can guarantee completion inside predictions.
+func (s *Scheduler) predRate(r *rjob) float64 {
+	shares := s.mgr.Shares(r.j.ID, r.nodes)
+	return model.Rate(model.WorstCase, shares, s.cl.Config().CoresPerNode(), nil) *
+		s.shareFactor(r)
+}
+
+// refreshRates re-derives both rates after an allocation change and
+// reschedules the completion event.
+func (s *Scheduler) refreshRates(r *rjob) {
+	now := s.eng.Now()
+	r.prog.SetRate(now, s.trueRate(r))
+	r.pred.SetRate(now, s.predRate(r))
+	rem := r.prog.RemainingWall(now)
+	if rem == math.MaxInt64 {
+		panic(fmt.Sprintf("sched: job %d starved to rate 0", r.j.ID))
+	}
+	r.endEv = s.eng.Reschedule(r.endEv, now+rem)
+}
+
+// begin starts tracking a job that has just been placed on its nodes.
+func (s *Scheduler) begin(r *rjob, malleable bool) {
+	now := s.eng.Now()
+	r.start = now
+	r.mallStart = malleable
+	r.prog = model.NewProgress(now, float64(r.j.ActualTime))
+	r.pred = model.NewProgress(now, float64(r.j.ReqTime))
+	r.prog.SetRate(now, s.trueRate(r))
+	r.pred.SetRate(now, s.predRate(r))
+	rem := r.prog.RemainingWall(now)
+	if rem == math.MaxInt64 {
+		panic(fmt.Sprintf("sched: job %d starts starved", r.j.ID))
+	}
+	r.endEv = s.eng.Schedule(now+rem, sim.PriEnd, func() { s.finish(r) })
+	s.running[r.j.ID] = r
+	if malleable {
+		s.mallStarts++
+	}
+	s.meter.Update(now, s.cl.UsedCores())
+	s.obsStarted(r, malleable)
+}
+
+// finish handles the completion event of a job.
+func (s *Scheduler) finish(r *rjob) {
+	now := s.eng.Now()
+	if !r.prog.Finished(now) {
+		panic(fmt.Sprintf("sched: job %d completion fired with work left", r.j.ID))
+	}
+	delete(s.running, r.j.ID)
+
+	// Listing 3's end path: clean DROM state, release the nodes, let the
+	// per-node survivor (owner expanding back, or malleable guest
+	// absorbing a finished owner) take the freed cores.
+	affected, _ := s.mgr.Finish(r.j.ID, r.nodes, func(id job.ID) bool {
+		other, ok := s.running[id]
+		if !ok {
+			return false
+		}
+		// Oversubscribed jobs always reclaim cores their co-runner
+		// frees (they never gave them up logically); malleable jobs
+		// expand/absorb; moldable and rigid jobs cannot.
+		return s.cfg.Policy == Oversubscribe || other.j.Kind == job.Malleable
+	})
+	// Untangle role bookkeeping.
+	if r.guest != nil { // r was a mate; its guest survives on r's nodes
+		g := r.guest
+		g.hosts = removeRjob(g.hosts, r)
+		r.guest = nil
+	}
+	for _, m := range r.hosts { // r was a guest; its mates expand
+		if m.guest == r {
+			m.guest = nil
+		}
+	}
+	r.hosts = nil
+	for _, id := range affected {
+		s.refreshRates(s.running[id])
+		s.obsReconfigured(s.running[id])
+	}
+
+	s.results = append(s.results, metrics.JobResult{
+		ID: r.j.ID, Submit: r.j.Submit, Start: r.start, End: now,
+		ReqTime: r.j.ReqTime, ActualTime: r.j.ActualTime,
+		ReqNodes: r.j.ReqNodes, Kind: r.j.Kind, App: r.j.App,
+		MalleableStart: r.mallStart, WasMate: r.everMate,
+	})
+	s.meter.Update(now, s.cl.UsedCores())
+	s.obsFinished(r.j.ID)
+	s.requestPass()
+}
+
+// pass is one scheduling pass: the static conservative-backfill loop
+// with, under SDPolicy, the malleable trial of Listing 1 after each
+// failed static trial.
+func (s *Scheduler) pass() {
+	s.passPending = false
+	s.passes++
+	if len(s.queue) == 0 {
+		return
+	}
+	now := s.eng.Now()
+	if s.cfg.Cutoff != CutoffStatic {
+		s.maxSD = s.dynamicCutoff(now)
+	}
+	prof := s.buildProfile(now)
+
+	kept := s.queue[:0]
+	examined, reserved := 0, 0
+	for qi, r := range s.queue {
+		if examined >= s.cfg.BackfillDepth {
+			kept = append(kept, s.queue[qi:]...)
+			break
+		}
+		examined++
+		est := prof.earliestStart(r.j.ReqNodes, r.j.ReqTime)
+		// Feature-constrained jobs additionally wait for matching nodes:
+		// their start estimate is the later of the aggregate profile and
+		// a profile restricted to nodes carrying the features.
+		if len(r.j.Features) > 0 {
+			if fest := s.featureEarliestStart(r, now); fest > est {
+				est = fest
+			}
+		}
+		if est == now && s.cl.FreeNodesWith(r.j.Features) >= r.j.ReqNodes {
+			s.startStatic(r, prof)
+			continue
+		}
+		coSchedulable := (s.cfg.Policy == SDPolicy && r.j.Kind != job.Rigid) ||
+			s.cfg.Policy == Oversubscribe
+		if coSchedulable {
+			if s.tryMalleable(r, est, prof) {
+				continue
+			}
+		}
+		// Conservative backfill reserves for every examined job; with
+		// ReservationDepth 1 only the head holds a reservation (EASY).
+		if reserved < s.cfg.ReservationDepth {
+			prof.reserve(est, est+r.j.ReqTime, r.j.ReqNodes)
+			reserved++
+		}
+		kept = append(kept, r)
+	}
+	// zero the tail so removed jobs do not leak
+	for i := len(kept); i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = kept
+}
+
+// startStatic places the job on free nodes now and charges the profile.
+func (s *Scheduler) startStatic(r *rjob, prof *profile) {
+	nodes, err := s.mgr.PlaceOwnerWith(r.j.ID, r.j.ReqNodes, r.j.Features)
+	if err != nil {
+		panic(fmt.Sprintf("sched: static start of job %d: %v", r.j.ID, err))
+	}
+	r.nodes = nodes
+	s.begin(r, false)
+	prof.reserve(s.eng.Now(), s.eng.Now()+r.j.ReqTime, r.j.ReqNodes)
+}
+
+// tryMalleable is the malleable branch of Listing 1. est is the
+// predicted static start from the reservation map. It reports whether
+// the job was started.
+func (s *Scheduler) tryMalleable(r *rjob, est int64, prof *profile) bool {
+	now := s.eng.Now()
+	staticEnd := est + r.j.ReqTime
+
+	full := s.cl.Config().CoresPerNode()
+	guestCores := s.mgr.GuestCores()
+	if guestCores < r.j.TasksPerNode {
+		return false // cannot satisfy one core per task
+	}
+	guestRate := model.UniformRate(model.WorstCase, guestCores, full, nil)
+	if s.cfg.Policy == Oversubscribe {
+		guestRate *= 1 - s.cfg.OversubPenalty
+	}
+	inc := model.Increase(r.j.ReqTime, guestRate)
+	if math.IsInf(inc, 1) {
+		return false
+	}
+	mallRun := r.j.ReqTime + int64(math.Ceil(inc))
+	mallEnd := now + mallRun
+	if staticEnd <= mallEnd {
+		return false // waiting for a static start is predicted better
+	}
+	sel := s.selectMates(r, now, mallEnd)
+	if sel == nil {
+		return false
+	}
+	s.startMalleable(r, sel, mallRun)
+	if sel.freeNodes > 0 {
+		// free nodes mixed into the guest's allocation are busy until
+		// the guest's predicted end
+		prof.reserve(now, mallEnd, sel.freeNodes)
+	}
+	return true
+}
+
+// startMalleable shrinks the selected mates and starts the guest on
+// their ceded cores (plus any free nodes mixed in).
+func (s *Scheduler) startMalleable(r *rjob, sel *mateSelection, mallRun int64) {
+	var mates []nodemgr.Mate
+	for _, m := range sel.mates {
+		mates = append(mates, nodemgr.Mate{ID: m.j.ID, Nodes: m.nodes})
+	}
+	s.mgr.StartGuest(r.j.ID, mates)
+	r.nodes = r.nodes[:0]
+	for _, m := range sel.mates {
+		r.nodes = append(r.nodes, m.nodes...)
+	}
+	// Free nodes mixed in are owned outright (full cores).
+	if sel.freeNodes > 0 {
+		freeNodes, err := s.mgr.PlaceOwnerWith(r.j.ID, sel.freeNodes, r.j.Features)
+		if err != nil {
+			panic(fmt.Sprintf("sched: free-node mix for job %d: %v", r.j.ID, err))
+		}
+		r.nodes = append(r.nodes, freeNodes...)
+	}
+	if len(r.nodes) != r.j.ReqNodes {
+		panic(fmt.Sprintf("sched: job %d placed on %d nodes, requested %d",
+			r.j.ID, len(r.nodes), r.j.ReqNodes))
+	}
+
+	// update_stats of Listing 1: commit the mates' predicted increases
+	// and link roles.
+	keepRate := float64(s.mgr.OwnerKeepCores()) / float64(s.cl.Config().CoresPerNode())
+	if s.cfg.Policy == Oversubscribe {
+		keepRate *= 1 - s.cfg.OversubPenalty
+	}
+	for _, m := range sel.mates {
+		m.guest = r
+		m.everMate = true
+		m.increase += model.MateIncrease(mallRun, keepRate)
+		r.hosts = append(r.hosts, m)
+	}
+	s.begin(r, true)
+	// The mates' rates changed: refresh their progress and end events.
+	for _, m := range sel.mates {
+		s.refreshRates(m)
+		s.obsReconfigured(m)
+	}
+}
+
+// featureEarliestStart estimates when enough nodes carrying the job's
+// required features become free, from the running jobs' predicted ends.
+// Reservations of other waiting feature jobs are not feature-tracked;
+// the aggregate profile covers them approximately.
+func (s *Scheduler) featureEarliestStart(r *rjob, now int64) int64 {
+	matching := s.cl.NodesWith(r.j.Features)
+	rel := make(map[int]int64)
+	for _, other := range s.running {
+		end := other.predEnd(now)
+		for _, nd := range other.nodes {
+			if s.cl.NodeHasFeatures(nd, r.j.Features) && end > rel[nd] {
+				rel[nd] = end
+			}
+		}
+	}
+	releases := make([]int64, 0, len(rel))
+	for _, end := range rel {
+		releases = append(releases, end)
+	}
+	p := newProfile(now, matching, s.cl.FreeNodesWith(r.j.Features), releases)
+	return p.earliestStart(r.j.ReqNodes, r.j.ReqTime)
+}
+
+// buildProfile constructs the availability step function from per-node
+// predicted release times (shared nodes release at the latest resident's
+// predicted end).
+func (s *Scheduler) buildProfile(now int64) *profile {
+	nodes := s.cl.Config().Nodes
+	if cap(s.relBuf) < nodes {
+		s.relBuf = make([]int64, nodes)
+	}
+	rel := s.relBuf[:nodes]
+	for i := range rel {
+		rel[i] = 0
+	}
+	for _, r := range s.running {
+		end := r.predEnd(now)
+		for _, nd := range r.nodes {
+			if end > rel[nd] {
+				rel[nd] = end
+			}
+		}
+	}
+	releases := make([]int64, 0, nodes-s.cl.FreeNodes())
+	for _, t := range rel {
+		if t > 0 {
+			releases = append(releases, t)
+		}
+	}
+	return newProfile(now, nodes, s.cl.FreeNodes(), releases)
+}
+
+// dynamicCutoff computes the feedback cut-off from the predicted
+// slowdowns of running jobs (Section 3.2.2, case 2).
+func (s *Scheduler) dynamicCutoff(now int64) float64 {
+	if len(s.running) == 0 {
+		return math.Inf(1)
+	}
+	sds := make([]float64, 0, len(s.running))
+	for _, r := range s.running {
+		wait := float64(r.start - r.j.Submit)
+		end := r.predEnd(now)
+		if end == math.MaxInt64 {
+			continue
+		}
+		run := float64(end - r.start)
+		sds = append(sds, (wait+run)/float64(r.j.ReqTime))
+	}
+	if len(sds) == 0 {
+		return math.Inf(1)
+	}
+	switch s.cfg.Cutoff {
+	case CutoffDynAvg:
+		var sum float64
+		for _, v := range sds {
+			sum += v
+		}
+		return sum / float64(len(sds))
+	case CutoffDynMedian:
+		return stats.Percentile(sds, 50)
+	case CutoffDynP70:
+		return stats.Percentile(sds, 70)
+	}
+	panic(fmt.Sprintf("sched: unexpected cutoff %v", s.cfg.Cutoff))
+}
+
+func removeRjob(xs []*rjob, x *rjob) []*rjob {
+	for i, v := range xs {
+		if v == x {
+			xs[i] = xs[len(xs)-1]
+			return xs[:len(xs)-1]
+		}
+	}
+	return xs
+}

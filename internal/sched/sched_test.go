@@ -1,0 +1,577 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"sdpolicy/internal/cluster"
+	"sdpolicy/internal/job"
+	"sdpolicy/internal/metrics"
+	"sdpolicy/internal/model"
+	"sdpolicy/internal/workload"
+)
+
+// tiny builds a workload on a small two-socket machine.
+func tiny(nodes int, jobs []job.Job) workload.Spec {
+	return workload.Spec{
+		Name:    "test",
+		Cluster: cluster.Config{Nodes: nodes, Sockets: 2, CoresPerSocket: 2},
+		Jobs:    jobs,
+	}
+}
+
+func mj(id job.ID, submit, req, actual int64, nodes int, kind job.Kind) job.Job {
+	return job.Job{ID: id, Submit: submit, ReqTime: req, ActualTime: actual,
+		ReqNodes: nodes, TasksPerNode: 1, Kind: kind}
+}
+
+func runOrFail(t *testing.T, spec workload.Spec, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func byID(t *testing.T, res *Result, id job.ID) *metrics.JobResult {
+	t.Helper()
+	for i := range res.Report.Results {
+		if res.Report.Results[i].ID == id {
+			return &res.Report.Results[i]
+		}
+	}
+	t.Fatalf("job %d missing from results", id)
+	return nil
+}
+
+func TestSingleJobStatic(t *testing.T) {
+	spec := tiny(2, []job.Job{mj(1, 0, 1000, 700, 2, job.Malleable)})
+	res := runOrFail(t, spec, Defaults())
+	r := byID(t, res, 1)
+	if r.Start != 0 || r.End != 700 {
+		t.Fatalf("start=%d end=%d, want 0/700", r.Start, r.End)
+	}
+	if r.Slowdown() != 1 {
+		t.Fatalf("slowdown %v, want 1", r.Slowdown())
+	}
+}
+
+func TestFIFOAndBackfill(t *testing.T) {
+	// 4 nodes. A(2n,1000) runs; B(4n,500) must wait; C(2n,500) backfills
+	// in front of B without delaying it; D(2n,2000) would delay B, waits.
+	spec := tiny(4, []job.Job{
+		mj(1, 0, 1000, 1000, 2, job.Rigid),
+		mj(2, 10, 500, 500, 4, job.Rigid),
+		mj(3, 20, 500, 500, 2, job.Rigid),
+		mj(4, 30, 2000, 2000, 2, job.Rigid),
+	})
+	res := runOrFail(t, spec, Defaults())
+	a, b, c, d := byID(t, res, 1), byID(t, res, 2), byID(t, res, 3), byID(t, res, 4)
+	if a.Start != 0 {
+		t.Fatalf("A start %d", a.Start)
+	}
+	if c.Start != 20 {
+		t.Fatalf("C should backfill at 20, started %d", c.Start)
+	}
+	if b.Start != 1000 {
+		t.Fatalf("B should start at A's end 1000, started %d", b.Start)
+	}
+	if d.Start != 1500 {
+		t.Fatalf("D should start after B at 1500, started %d", d.Start)
+	}
+}
+
+func TestBackfillRespectsReservation(t *testing.T) {
+	// Conservative: a job that would push back the head reservation may
+	// not backfill even though nodes are free now.
+	spec := tiny(4, []job.Job{
+		mj(1, 0, 1000, 1000, 2, job.Rigid),
+		mj(2, 10, 500, 500, 4, job.Rigid),
+		mj(3, 20, 1500, 1500, 2, job.Rigid), // would overlap B's window
+	})
+	res := runOrFail(t, spec, Defaults())
+	b, c := byID(t, res, 2), byID(t, res, 3)
+	if b.Start != 1000 {
+		t.Fatalf("B start %d, want 1000", b.Start)
+	}
+	if c.Start != 1500 {
+		t.Fatalf("C start %d, want 1500 (after B)", c.Start)
+	}
+}
+
+func sdConfig() Config {
+	cfg := Defaults()
+	cfg.Policy = SDPolicy
+	cfg.RuntimeModel = model.WorstCase
+	return cfg
+}
+
+func TestMalleableCoSchedule(t *testing.T) {
+	// 2 nodes. A(2n, req 1000) running; B(2n, req/actual 100) arrives at
+	// t=10. Static wait would be 990s; malleable doubles B to 200s, so
+	// SD-Policy shrinks A and starts B immediately.
+	spec := tiny(2, []job.Job{
+		mj(1, 0, 1000, 1000, 2, job.Malleable),
+		mj(2, 10, 100, 100, 2, job.Malleable),
+	})
+	res := runOrFail(t, spec, sdConfig())
+	a, b := byID(t, res, 1), byID(t, res, 2)
+	if !b.MalleableStart {
+		t.Fatal("B was not malleably scheduled")
+	}
+	if !a.WasMate {
+		t.Fatal("A was not marked as mate")
+	}
+	if b.Start != 10 || b.End != 210 {
+		t.Fatalf("B start=%d end=%d, want 10/210", b.Start, b.End)
+	}
+	// A: full rate for 10s, half rate for 200s (100 work), full for the
+	// remaining 890 => end at 10+200+890 = 1100.
+	if a.End != 1100 {
+		t.Fatalf("A end=%d, want 1100", a.End)
+	}
+	if res.MalleableStarts != 1 || res.Mates != 1 {
+		t.Fatalf("counters: starts=%d mates=%d", res.MalleableStarts, res.Mates)
+	}
+	// The same workload under static backfill: B waits for A.
+	stat := runOrFail(t, spec, Defaults())
+	bs := byID(t, stat, 2)
+	if bs.Start != 1000 {
+		t.Fatalf("static B start %d, want 1000", bs.Start)
+	}
+	if !(res.Report.AvgSlowdown() < stat.Report.AvgSlowdown()) {
+		t.Fatalf("SD slowdown %v not better than static %v",
+			res.Report.AvgSlowdown(), stat.Report.AvgSlowdown())
+	}
+}
+
+func TestMalleableNotAppliedWhenStaticBetter(t *testing.T) {
+	// B's static wait (90s) is far below its malleable stretch (+100s):
+	// Listing 1's estimate keeps it static.
+	spec := tiny(2, []job.Job{
+		mj(1, 0, 100, 100, 2, job.Malleable),
+		mj(2, 10, 100, 100, 2, job.Malleable),
+	})
+	res := runOrFail(t, spec, sdConfig())
+	b := byID(t, res, 2)
+	if b.MalleableStart {
+		t.Fatal("B should not be malleably scheduled")
+	}
+	if b.Start != 100 {
+		t.Fatalf("B start %d, want 100", b.Start)
+	}
+}
+
+func TestMaxSlowdownCutoffBlocks(t *testing.T) {
+	spec := tiny(2, []job.Job{
+		mj(1, 0, 1000, 1000, 2, job.Malleable),
+		mj(2, 10, 100, 100, 2, job.Malleable),
+	})
+	cfg := sdConfig()
+	cfg.MaxSlowdown = 1.05 // A's penalty would be 1.1
+	res := runOrFail(t, spec, cfg)
+	b := byID(t, res, 2)
+	if b.MalleableStart {
+		t.Fatal("cut-off failed to block the mate")
+	}
+	cfg.MaxSlowdown = 1.2 // now permissive
+	res = runOrFail(t, spec, cfg)
+	if !byID(t, res, 2).MalleableStart {
+		t.Fatal("permissive cut-off still blocked the mate")
+	}
+}
+
+func TestDynamicCutoffBlocksHighPenaltyMate(t *testing.T) {
+	// Average predicted slowdown of the single running job is 1.0; the
+	// mate penalty 1.1 exceeds it, so DynAVGSD blocks malleability.
+	spec := tiny(2, []job.Job{
+		mj(1, 0, 1000, 1000, 2, job.Malleable),
+		mj(2, 10, 100, 100, 2, job.Malleable),
+	})
+	cfg := sdConfig()
+	cfg.Cutoff = CutoffDynAvg
+	res := runOrFail(t, spec, cfg)
+	if byID(t, res, 2).MalleableStart {
+		t.Fatal("DynAVGSD should have blocked the mate")
+	}
+}
+
+func TestWeightConstraintExactSum(t *testing.T) {
+	// A holds 2 nodes; B requests 1. No combination of whole mates sums
+	// to 1, so no malleable start (constraint 3).
+	spec := tiny(2, []job.Job{
+		mj(1, 0, 1000, 1000, 2, job.Malleable),
+		mj(2, 10, 50, 50, 1, job.Malleable),
+	})
+	res := runOrFail(t, spec, sdConfig())
+	if byID(t, res, 2).MalleableStart {
+		t.Fatal("weight constraint violated: 2-node mate hosted 1-node job")
+	}
+}
+
+func TestTwoMatesCombine(t *testing.T) {
+	// Two 1-node mates host a 2-node guest.
+	spec := tiny(2, []job.Job{
+		mj(1, 0, 1000, 1000, 1, job.Malleable),
+		mj(2, 0, 1000, 1000, 1, job.Malleable),
+		mj(3, 10, 100, 100, 2, job.Malleable),
+	})
+	res := runOrFail(t, spec, sdConfig())
+	g := byID(t, res, 3)
+	if !g.MalleableStart {
+		t.Fatal("guest not malleably scheduled over two mates")
+	}
+	if !byID(t, res, 1).WasMate || !byID(t, res, 2).WasMate {
+		t.Fatal("both mates should be marked")
+	}
+	// MaxMates=1 must prevent the combination.
+	cfg := sdConfig()
+	cfg.MaxMates = 1
+	res = runOrFail(t, spec, cfg)
+	if byID(t, res, 3).MalleableStart {
+		t.Fatal("MaxMates=1 still combined two mates")
+	}
+}
+
+func TestGuestMustFinishInsideMateAllocation(t *testing.T) {
+	// Mate's remaining requested time (100s) is shorter than the guest's
+	// malleable runtime (200s): the mate is ineligible (Section 3.2.4).
+	spec := tiny(2, []job.Job{
+		mj(1, 0, 150, 150, 2, job.Malleable),
+		mj(2, 10, 100, 100, 2, job.Malleable),
+	})
+	res := runOrFail(t, spec, sdConfig())
+	if byID(t, res, 2).MalleableStart {
+		t.Fatal("guest scheduled over a mate that ends first")
+	}
+}
+
+func TestRigidJobsNeverMalleable(t *testing.T) {
+	spec := tiny(2, []job.Job{
+		mj(1, 0, 1000, 1000, 2, job.Rigid),
+		mj(2, 10, 100, 100, 2, job.Rigid),
+	})
+	res := runOrFail(t, spec, sdConfig())
+	if res.MalleableStarts != 0 || res.Mates != 0 {
+		t.Fatal("rigid workload used malleability")
+	}
+	// Rigid guest candidate with malleable running job: still blocked,
+	// because the guest itself cannot shrink.
+	spec2 := tiny(2, []job.Job{
+		mj(1, 0, 1000, 1000, 2, job.Malleable),
+		mj(2, 10, 100, 100, 2, job.Rigid),
+	})
+	res2 := runOrFail(t, spec2, sdConfig())
+	if res2.MalleableStarts != 0 {
+		t.Fatal("rigid job was malleably scheduled")
+	}
+}
+
+func TestMateEndsEarlyGuestAbsorbs(t *testing.T) {
+	// Two 1-node mates; mate 1 really ends at t=90 (before the guest).
+	// Under the worst-case model the guest gains nothing from absorbing
+	// one node; under the ideal model it accelerates (Section 4.3).
+	jobs := []job.Job{
+		mj(1, 0, 1000, 50, 1, job.Malleable), // ends early
+		mj(2, 0, 1000, 1000, 1, job.Malleable),
+		mj(3, 10, 100, 100, 2, job.Malleable),
+	}
+	worst := runOrFail(t, tiny(2, jobs), sdConfig())
+	gw := byID(t, worst, 3)
+	if !gw.MalleableStart {
+		t.Fatal("guest not malleably scheduled")
+	}
+	if gw.End != 210 {
+		t.Fatalf("worst-case guest end %d, want 210", gw.End)
+	}
+	cfgIdeal := sdConfig()
+	cfgIdeal.RuntimeModel = model.Ideal
+	ideal := runOrFail(t, tiny(2, jobs), cfgIdeal)
+	gi := byID(t, ideal, 3)
+	if gi.End != 170 {
+		t.Fatalf("ideal guest end %d, want 170", gi.End)
+	}
+	if !(gi.End < gw.End) {
+		t.Fatal("ideal model should finish the unbalanced guest earlier")
+	}
+}
+
+func TestMoldableGuestDoesNotAbsorb(t *testing.T) {
+	// A moldable guest can start shrunk but cannot expand when its mate
+	// ends early, so it keeps the worst-case pace even under Ideal truth.
+	jobs := []job.Job{
+		mj(1, 0, 1000, 50, 2, job.Malleable),
+		mj(2, 10, 100, 100, 2, job.Moldable),
+	}
+	cfg := sdConfig()
+	cfg.RuntimeModel = model.Ideal
+	res := runOrFail(t, tiny(2, jobs), cfg)
+	g := byID(t, res, 2)
+	if !g.MalleableStart {
+		t.Fatal("moldable guest not co-scheduled")
+	}
+	// start 10 at rate 0.5; mate ends at 35 (50 work: 10 full + 80*0.5);
+	// guest keeps rate 0.5 throughout: 200s run.
+	if g.RunTime() != 200 {
+		t.Fatalf("moldable guest runtime %d, want 200", g.RunTime())
+	}
+}
+
+func TestShrinkFloorOneCorePerTask(t *testing.T) {
+	// Mate has 3 tasks per node but a shrunk owner keeps only 2 cores:
+	// it cannot shrink, so no malleable start.
+	mate := mj(1, 0, 1000, 1000, 2, job.Malleable)
+	mate.TasksPerNode = 3
+	spec := tiny(2, []job.Job{mate, mj(2, 10, 100, 100, 2, job.Malleable)})
+	res := runOrFail(t, spec, sdConfig())
+	if byID(t, res, 2).MalleableStart {
+		t.Fatal("mate shrank below one core per task")
+	}
+	// Guest with too many tasks per node is equally blocked.
+	guest := mj(2, 10, 100, 100, 2, job.Malleable)
+	guest.TasksPerNode = 3
+	spec2 := tiny(2, []job.Job{mj(1, 0, 1000, 1000, 2, job.Malleable), guest})
+	res2 := runOrFail(t, spec2, sdConfig())
+	if byID(t, res2, 2).MalleableStart {
+		t.Fatal("guest placed with fewer cores than tasks")
+	}
+}
+
+func TestMateExpandsAfterGuest(t *testing.T) {
+	// After the guest ends the mate must run at full rate again: its end
+	// time reflects only the hosting window's lost progress.
+	spec := tiny(2, []job.Job{
+		mj(1, 0, 2000, 2000, 2, job.Malleable),
+		mj(2, 10, 100, 100, 2, job.Malleable),
+	})
+	res := runOrFail(t, spec, sdConfig())
+	a := byID(t, res, 1)
+	// hosting [10,210] at rate 0.5 loses 100s of work: 2000+100 = 2100.
+	if a.End != 2100 {
+		t.Fatalf("mate end %d, want 2100", a.End)
+	}
+}
+
+// Under the analytic worst-case model core-seconds are conserved, so SD
+// keeps the makespan constant (the paper notes exactly this for WL4).
+func TestWorstCaseModelKeepsMakespan(t *testing.T) {
+	spec := tiny(2, []job.Job{
+		mj(1, 0, 1000, 1000, 2, job.Malleable),
+		mj(2, 10, 100, 100, 2, job.Malleable),
+	})
+	stat := runOrFail(t, spec, Defaults())
+	sd := runOrFail(t, spec, sdConfig())
+	if stat.EnergyJoules <= 0 || sd.EnergyJoules <= 0 {
+		t.Fatal("energy not accounted")
+	}
+	if sd.Report.Makespan() != stat.Report.Makespan() {
+		t.Fatalf("makespan changed: sd=%d static=%d",
+			sd.Report.Makespan(), stat.Report.Makespan())
+	}
+}
+
+// With the application model a bandwidth-saturated mate cedes cores for
+// free, so SD finishes the same work sooner and saves energy — the
+// Figure 9 mechanism.
+func TestEnergySavedWithAppModel(t *testing.T) {
+	a := mj(1, 0, 1000, 1000, 2, job.Malleable)
+	a.App = job.AppSTREAM
+	b := mj(2, 10, 100, 100, 2, job.Malleable)
+	b.App = job.AppPILS
+	spec := tiny(2, []job.Job{a, b})
+
+	speedups := func(app job.AppClass) model.SpeedupFn {
+		if app == job.AppSTREAM {
+			// saturates at 2 of the 4 cores per node
+			return func(c int) float64 { return math.Min(float64(c), 2) }
+		}
+		return func(c int) float64 { return float64(c) }
+	}
+	cfg := sdConfig()
+	cfg.RuntimeModel = model.App
+	cfg.Speedups = speedups
+	sd := runOrFail(t, spec, cfg)
+
+	stat := Defaults()
+	stat.RuntimeModel = model.App
+	stat.Speedups = speedups
+	base := runOrFail(t, spec, stat)
+
+	// Static: A ends 1000, B runs 1000-1100. SD: B co-runs 10-210 while
+	// the STREAM mate keeps full speed and still ends at 1000.
+	aRes, bRes := byID(t, sd, 1), byID(t, sd, 2)
+	if aRes.End != 1000 {
+		t.Fatalf("saturated mate end %d, want 1000", aRes.End)
+	}
+	if bRes.End != 210 {
+		t.Fatalf("guest end %d, want 210", bRes.End)
+	}
+	if sd.Report.Makespan() >= base.Report.Makespan() {
+		t.Fatalf("SD makespan %d not below static %d",
+			sd.Report.Makespan(), base.Report.Makespan())
+	}
+	if sd.EnergyJoules >= base.EnergyJoules {
+		t.Fatalf("SD energy %v not below static %v", sd.EnergyJoules, base.EnergyJoules)
+	}
+}
+
+func TestIncludeFreeNodesMixes(t *testing.T) {
+	// 3 nodes: mate holds 2, 1 node free but blocked by the head
+	// reservation. Guest requests 3 => 2 mate nodes + 1 free node, only
+	// with IncludeFreeNodes.
+	jobs := []job.Job{
+		mj(1, 0, 1000, 1000, 2, job.Malleable),
+		mj(2, 5, 1000, 1000, 3, job.Rigid),    // head: reserves all 3 at t=1000
+		mj(3, 10, 100, 100, 3, job.Malleable), // wants 3 nodes now
+	}
+	base := sdConfig()
+	res := runOrFail(t, tiny(3, jobs), base)
+	if byID(t, res, 3).MalleableStart {
+		t.Fatal("free-node mixing should be off by default")
+	}
+	base.IncludeFreeNodes = true
+	res = runOrFail(t, tiny(3, jobs), base)
+	g := byID(t, res, 3)
+	if !g.MalleableStart {
+		t.Fatal("IncludeFreeNodes did not enable the mixed allocation")
+	}
+	if g.Start != 10 {
+		t.Fatalf("guest start %d, want 10", g.Start)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	spec := workload.WL5(0.2, 42)
+	cfg := sdConfig()
+	cfg.Cutoff = CutoffDynAvg
+	a := runOrFail(t, spec, cfg)
+	b := runOrFail(t, spec, cfg)
+	if len(a.Report.Results) != len(b.Report.Results) {
+		t.Fatal("result counts differ between identical runs")
+	}
+	for i := range a.Report.Results {
+		if a.Report.Results[i] != b.Report.Results[i] {
+			t.Fatalf("result %d differs: %+v vs %+v",
+				i, a.Report.Results[i], b.Report.Results[i])
+		}
+	}
+	if a.EnergyJoules != b.EnergyJoules {
+		t.Fatal("energy differs between identical runs")
+	}
+}
+
+func TestAllPoliciesCompleteGeneratedWorkloads(t *testing.T) {
+	cfgs := map[string]Config{}
+	cfgs["static"] = Defaults()
+	cfgs["sd-inf"] = sdConfig()
+	dyn := sdConfig()
+	dyn.Cutoff = CutoffDynAvg
+	cfgs["sd-dyn"] = dyn
+	ten := sdConfig()
+	ten.MaxSlowdown = 10
+	cfgs["sd-10"] = ten
+	free := sdConfig()
+	free.IncludeFreeNodes = true
+	cfgs["sd-free"] = free
+
+	for _, seed := range []uint64{1, 2} {
+		spec := workload.WL5(0.15, seed)
+		for name, cfg := range cfgs {
+			res, err := Run(spec, cfg)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if err := res.Report.Validate(); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+		}
+	}
+}
+
+func TestMixedKindWorkloadCompletes(t *testing.T) {
+	spec := workload.WL5(0.15, 7)
+	workload.SetMalleableFraction(&spec, 0.5)
+	res := runOrFail(t, spec, sdConfig())
+	if res.MalleableStarts == 0 {
+		t.Log("note: no malleable starts in mixed workload (load dependent)")
+	}
+	for i := range res.Report.Results {
+		r := &res.Report.Results[i]
+		if r.Kind == job.Rigid && (r.MalleableStart || r.WasMate) {
+			t.Fatalf("rigid job %d participated in malleability", r.ID)
+		}
+	}
+}
+
+func TestSubmitRejectsOversizedJob(t *testing.T) {
+	spec := tiny(2, []job.Job{mj(1, 0, 100, 100, 3, job.Rigid)})
+	if _, err := Run(spec, Defaults()); err == nil {
+		t.Fatal("oversized job accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.SharingFactor = 0 },
+		func(c *Config) { c.SharingFactor = 1 },
+		func(c *Config) { c.MaxMates = 0 },
+		func(c *Config) { c.CandidateCap = 0 },
+		func(c *Config) { c.BackfillDepth = 0 },
+		func(c *Config) { c.MaxSlowdown = 0 },
+		func(c *Config) { c.DROMOverhead = -1 },
+	}
+	for i, mut := range bad {
+		c := Defaults()
+		mut(&c)
+		if c.Validate() == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if math.IsInf(Defaults().MaxSlowdown, 1) != true {
+		t.Error("default cut-off should be infinite")
+	}
+}
+
+func TestEASYAllowsDeeperBackfill(t *testing.T) {
+	// Under EASY only the head (B) is protected: C may start even though
+	// it overlaps D's conservative reservation window.
+	jobs := []job.Job{
+		mj(1, 0, 1000, 1000, 2, job.Rigid),
+		mj(2, 10, 500, 500, 4, job.Rigid),   // head, reserved in both modes
+		mj(3, 20, 2000, 2000, 2, job.Rigid), // waits for B in both modes
+		mj(4, 30, 2000, 2000, 2, job.Rigid), // conservative: reserved after C
+		mj(5, 40, 400, 400, 2, job.Rigid),   // EASY: may slide ahead of D
+	}
+	cons := runOrFail(t, tiny(4, jobs), Defaults())
+	easy := Defaults()
+	easy.ReservationDepth = 1
+	ez := runOrFail(t, tiny(4, jobs), easy)
+	// Job 5 must start no later under EASY than under conservative.
+	if byID(t, ez, 5).Start > byID(t, cons, 5).Start {
+		t.Fatalf("EASY start %d later than conservative %d",
+			byID(t, ez, 5).Start, byID(t, cons, 5).Start)
+	}
+	// The head job B keeps its place under both disciplines.
+	if byID(t, ez, 2).Start != byID(t, cons, 2).Start {
+		t.Fatalf("head job start differs: easy=%d cons=%d",
+			byID(t, ez, 2).Start, byID(t, cons, 2).Start)
+	}
+}
+
+func TestBackfillDepthLimits(t *testing.T) {
+	// With depth 1 only the head job is examined per pass; later arrivals
+	// cannot backfill ahead of it.
+	spec := tiny(4, []job.Job{
+		mj(1, 0, 1000, 1000, 2, job.Rigid),
+		mj(2, 10, 500, 500, 4, job.Rigid),
+		mj(3, 20, 100, 100, 2, job.Rigid), // would backfill with depth>=2
+	})
+	cfg := Defaults()
+	cfg.BackfillDepth = 1
+	res := runOrFail(t, spec, cfg)
+	c := byID(t, res, 3)
+	if c.Start == 20 {
+		t.Fatal("depth 1 should prevent backfill of job 3")
+	}
+}

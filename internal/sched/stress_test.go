@@ -1,0 +1,192 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sdpolicy/internal/cluster"
+	"sdpolicy/internal/job"
+	"sdpolicy/internal/model"
+	"sdpolicy/internal/trace"
+	"sdpolicy/internal/workload"
+)
+
+// randomSpec builds an adversarial workload: arbitrary job shapes, burst
+// arrivals, mixed kinds, some exact and some wildly wrong estimates.
+func randomSpec(rng *rand.Rand) workload.Spec {
+	nodes := 2 + rng.Intn(12)
+	cfg := cluster.Config{Nodes: nodes, Sockets: 1 + rng.Intn(2), CoresPerSocket: 1 + rng.Intn(8)}
+	n := 20 + rng.Intn(120)
+	jobs := make([]job.Job, n)
+	t := int64(0)
+	for i := range jobs {
+		t += int64(rng.Intn(200))
+		actual := int64(1 + rng.Intn(2000))
+		req := actual
+		if rng.Intn(3) > 0 {
+			req = actual + int64(rng.Intn(5000))
+		}
+		kind := job.Kind(rng.Intn(3))
+		jobs[i] = job.Job{
+			ID: job.ID(i + 1), Submit: t,
+			ReqTime: req, ActualTime: actual,
+			ReqNodes:     1 + rng.Intn(nodes),
+			TasksPerNode: 1 + rng.Intn(2),
+			Kind:         kind,
+		}
+	}
+	return workload.Spec{Name: "stress", Cluster: cfg, Jobs: jobs}
+}
+
+// TestStressRandomWorkloads drives every policy combination over random
+// adversarial workloads and verifies global invariants: every job
+// completes exactly once, never before its work is done, and the cluster
+// ends empty.
+func TestStressRandomWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 40; trial++ {
+		spec := randomSpec(rng)
+		cfgs := []Config{Defaults(), sdConfig()}
+		dyn := sdConfig()
+		dyn.Cutoff = CutoffDynAvg
+		cfgs = append(cfgs, dyn)
+		ideal := sdConfig()
+		ideal.RuntimeModel = model.Ideal
+		cfgs = append(cfgs, ideal)
+		free := sdConfig()
+		free.IncludeFreeNodes = true
+		cfgs = append(cfgs, free)
+		easy := sdConfig()
+		easy.ReservationDepth = 1
+		cfgs = append(cfgs, easy)
+		three := sdConfig()
+		three.MaxMates = 3
+		cfgs = append(cfgs, three)
+		tight := sdConfig()
+		tight.BackfillDepth = 3
+		cfgs = append(cfgs, tight)
+
+		for ci, cfg := range cfgs {
+			res, err := Run(spec, cfg)
+			if err != nil {
+				t.Fatalf("trial %d cfg %d: %v", trial, ci, err)
+			}
+			if err := res.Report.Validate(); err != nil {
+				t.Fatalf("trial %d cfg %d: %v", trial, ci, err)
+			}
+			seen := map[job.ID]bool{}
+			for i := range res.Report.Results {
+				r := &res.Report.Results[i]
+				if seen[r.ID] {
+					t.Fatalf("trial %d cfg %d: job %d completed twice", trial, ci, r.ID)
+				}
+				seen[r.ID] = true
+				if r.Kind == job.Rigid && (r.MalleableStart || r.WasMate) {
+					t.Fatalf("trial %d cfg %d: rigid job %d malleable", trial, ci, r.ID)
+				}
+				if r.Kind == job.Moldable && r.WasMate {
+					t.Fatalf("trial %d cfg %d: moldable job %d was a mate", trial, ci, r.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestStressDROMOverhead exercises the reconfiguration-cost path.
+func TestStressDROMOverhead(t *testing.T) {
+	spec := workload.WL5(0.15, 5)
+	cfg := sdConfig()
+	cfg.DROMOverhead = 2
+	res, err := Run(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DROM.MaskSets == 0 {
+		t.Fatal("no mask operations recorded")
+	}
+}
+
+// TestStressObservedCoreAccounting replays a run through the observer
+// and checks the usage timeline never exceeds the machine or goes
+// negative, and ends at zero.
+func TestStressObservedCoreAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		spec := randomSpec(rng)
+		rec := trace.NewRecorder()
+		cfg := sdConfig()
+		cfg.Observer = rec
+		if _, err := Run(spec, cfg); err != nil {
+			t.Fatal(err)
+		}
+		total := spec.Cluster.TotalCores()
+		tl := rec.Timeline()
+		if len(tl) == 0 {
+			t.Fatal("no timeline")
+		}
+		for _, p := range tl {
+			if p.UsedCores < 0 || p.UsedCores > total {
+				t.Fatalf("trial %d: usage %d out of [0,%d]", trial, p.UsedCores, total)
+			}
+		}
+		if tl[len(tl)-1].UsedCores != 0 {
+			t.Fatalf("trial %d: machine not empty at end", trial)
+		}
+	}
+}
+
+// TestSlowdownLowerBound: no policy may record a slowdown below 1.
+func TestSlowdownLowerBound(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		spec := workload.WL5(0.1, seed)
+		for _, cfg := range []Config{Defaults(), sdConfig()} {
+			res, err := Run(spec, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range res.Report.Results {
+				if sd := res.Report.Results[i].Slowdown(); sd < 1 || math.IsNaN(sd) {
+					t.Fatalf("job %d slowdown %v below 1", res.Report.Results[i].ID, sd)
+				}
+			}
+		}
+	}
+}
+
+// TestMassiveBurst: every job arrives at t=0; the queue is as deep as it
+// can get and the backfill window continuously refills.
+func TestMassiveBurst(t *testing.T) {
+	var jobs []job.Job
+	for i := 0; i < 200; i++ {
+		jobs = append(jobs, mj(job.ID(i+1), 0, int64(100+i), int64(50+i), 1+i%4, job.Malleable))
+	}
+	spec := tiny(4, jobs)
+	for _, cfg := range []Config{Defaults(), sdConfig()} {
+		res, err := Run(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Report.Results) != len(jobs) {
+			t.Fatalf("%d of %d jobs completed", len(res.Report.Results), len(jobs))
+		}
+	}
+}
+
+// TestZeroWaitWorkload: arrivals far apart — nobody ever queues, SD
+// must behave exactly like static backfill.
+func TestZeroWaitWorkload(t *testing.T) {
+	var jobs []job.Job
+	for i := 0; i < 20; i++ {
+		jobs = append(jobs, mj(job.ID(i+1), int64(i)*10000, 500, 400, 2, job.Malleable))
+	}
+	spec := tiny(4, jobs)
+	static, _ := Run(spec, Defaults())
+	sd, _ := Run(spec, sdConfig())
+	if sd.MalleableStarts != 0 {
+		t.Fatal("malleability applied on an idle machine")
+	}
+	if static.Report.AvgSlowdown() != sd.Report.AvgSlowdown() {
+		t.Fatal("SD diverged from static on an uncontended workload")
+	}
+}

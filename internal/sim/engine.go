@@ -1,0 +1,172 @@
+// Package sim implements the discrete-event simulation engine that drives
+// every experiment: a virtual clock and a priority queue of timed,
+// cancellable events.
+//
+// It plays the role the simulation driver plays in the BSC SLURM
+// simulator: job submissions, job completions and scheduler passes are all
+// events; simulated time jumps from event to event.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in seconds since the start of the experiment.
+type Time = int64
+
+// Priority orders events that share a timestamp. Lower runs first.
+// The ordering mirrors the order slurmctld processes its agenda:
+// completions free resources before new submissions are looked at, and the
+// scheduler pass runs after the state changes that triggered it.
+type Priority int
+
+const (
+	// PriEnd is for job completion events.
+	PriEnd Priority = iota
+	// PriSubmit is for job arrival events.
+	PriSubmit
+	// PriSched is for scheduler passes.
+	PriSched
+	// PriStats is for periodic bookkeeping (daily samples, probes).
+	PriStats
+)
+
+// Event is a scheduled callback. It is returned by Schedule so callers can
+// cancel or reschedule it.
+type Event struct {
+	at    Time
+	pri   Priority
+	seq   uint64
+	index int // heap index, -1 once popped or cancelled
+	fn    func()
+}
+
+// Time returns the simulated time the event fires at.
+func (e *Event) Time() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation loop. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	ran    uint64
+	maxT   Time // optional horizon, 0 = none
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns how many events have fired so far.
+func (e *Engine) Processed() uint64 { return e.ran }
+
+// Pending returns how many events are scheduled and not yet fired.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// SetHorizon stops Run once the clock would pass t (events at exactly t
+// still fire). Zero means no horizon.
+func (e *Engine) SetHorizon(t Time) { e.maxT = t }
+
+// Schedule registers fn to run at time at with the given same-time
+// priority. Scheduling in the past panics: that is always a logic error in
+// a discrete-event model.
+func (e *Engine) Schedule(at Time, pri Priority, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %d before now %d", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := &Event{at: at, pri: pri, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.events, ev.index)
+	ev.index = -1
+	ev.fn = nil
+}
+
+// Reschedule moves a pending event to a new time, keeping its priority.
+// If the event already fired it is scheduled afresh with the given
+// callback retained.
+func (e *Engine) Reschedule(ev *Event, at Time) *Event {
+	if ev == nil {
+		panic("sim: reschedule of nil event")
+	}
+	fn := ev.fn
+	e.Cancel(ev)
+	if fn == nil {
+		panic("sim: reschedule of fired event without callback")
+	}
+	return e.Schedule(at, ev.pri, fn)
+}
+
+// Step fires the single earliest event. It reports whether an event fired.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.fn == nil { // defensively skip cancelled residue
+			continue
+		}
+		if e.maxT != 0 && ev.at > e.maxT {
+			return false
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.ran++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain (or the horizon is reached).
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(10, PriSched, func() { got = append(got, 3) })
+	e.Schedule(5, PriSubmit, func() { got = append(got, 1) })
+	e.Schedule(10, PriEnd, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock %d, want 10", e.Now())
+	}
+	if e.Processed() != 3 {
+		t.Fatalf("processed %d, want 3", e.Processed())
+	}
+}
+
+func TestSameTimeSamePriorityFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(7, PriSched, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("not FIFO at %d: %v", i, got[i])
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(5, PriSched, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double cancel is a no-op
+	e.Cancel(nil)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending %d after run", e.Pending())
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.Schedule(Time(i), PriSched, func() { got = append(got, i) })
+	}
+	e.Cancel(evs[3])
+	e.Cancel(evs[7])
+	e.Run()
+	for _, v := range got {
+		if v == 3 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if len(got) != 8 {
+		t.Fatalf("fired %d events, want 8", len(got))
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	ev := e.Schedule(5, PriSched, func() { at = e.Now() })
+	ev = e.Reschedule(ev, 20)
+	e.Run()
+	if at != 20 {
+		t.Fatalf("fired at %d, want 20", at)
+	}
+	_ = ev
+}
+
+func TestScheduleFromCallback(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	e.Schedule(1, PriSched, func() {
+		got = append(got, e.Now())
+		e.Schedule(4, PriSched, func() { got = append(got, e.Now()) })
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, PriSched, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on scheduling in the past")
+			}
+		}()
+		e.Schedule(5, PriSched, func() {})
+	})
+	e.Run()
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on nil callback")
+		}
+	}()
+	e.Schedule(1, PriSched, nil)
+}
+
+func TestHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(5, PriSched, func() { fired++ })
+	e.Schedule(10, PriSched, func() { fired++ })
+	e.Schedule(11, PriSched, func() { fired++ })
+	e.SetHorizon(10)
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired %d events inside horizon, want 2", fired)
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless of
+// insertion order, with random cancellations mixed in.
+func TestPropertyTimeOrdered(t *testing.T) {
+	f := func(times []uint16, cancelMask []bool) bool {
+		e := NewEngine()
+		var fired []Time
+		var evs []*Event
+		for _, tm := range times {
+			at := Time(tm)
+			evs = append(evs, e.Schedule(at, PriSched, func() {
+				fired = append(fired, at)
+			}))
+		}
+		for i, ev := range evs {
+			if i < len(cancelMask) && cancelMask[i] {
+				e.Cancel(ev)
+			}
+		}
+		e.Run()
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: exactly the non-cancelled events fire, once each.
+func TestPropertyExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		const n = 500
+		counts := make([]int, n)
+		evs := make([]*Event, n)
+		for i := 0; i < n; i++ {
+			i := i
+			evs[i] = e.Schedule(Time(rng.Intn(100)), Priority(rng.Intn(3)), func() { counts[i]++ })
+		}
+		cancelled := map[int]bool{}
+		for i := 0; i < n/4; i++ {
+			k := rng.Intn(n)
+			e.Cancel(evs[k])
+			cancelled[k] = true
+		}
+		e.Run()
+		for i, c := range counts {
+			want := 1
+			if cancelled[i] {
+				want = 0
+			}
+			if c != want {
+				t.Fatalf("trial %d: event %d fired %d times, want %d", trial, i, c, want)
+			}
+		}
+	}
+}

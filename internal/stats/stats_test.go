@@ -1,0 +1,227 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(7, 13)
+	b := NewRNG(7, 13)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same-seed streams diverged at sample %d", i)
+		}
+	}
+	c := NewRNG(7, 14)
+	same := true
+	a2 := NewRNG(7, 13)
+	for i := 0; i < 16; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical prefix")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := NewRNG(1, 2)
+	for i := 0; i < 10000; i++ {
+		x := g.Uniform(5, 9)
+		if x < 5 || x >= 9 {
+			t.Fatalf("uniform sample %v out of [5,9)", x)
+		}
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	g := NewRNG(3, 4)
+	const mu, sigma = 1.0, 0.5
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		s.Add(g.LogNormal(mu, sigma))
+	}
+	want := math.Exp(mu + sigma*sigma/2)
+	if rel := math.Abs(s.Mean()-want) / want; rel > 0.02 {
+		t.Fatalf("lognormal mean %v, want %v (rel err %v)", s.Mean(), want, rel)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	g := NewRNG(5, 6)
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		s.Add(g.Exponential(42))
+	}
+	if rel := math.Abs(s.Mean()-42) / 42; rel > 0.02 {
+		t.Fatalf("exponential mean %v, want 42", s.Mean())
+	}
+}
+
+func TestWeibullPositive(t *testing.T) {
+	g := NewRNG(9, 9)
+	for i := 0; i < 10000; i++ {
+		if x := g.Weibull(0.7, 100); x <= 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+			t.Fatalf("weibull sample %v invalid", x)
+		}
+	}
+}
+
+func TestWeibullShape1IsExponential(t *testing.T) {
+	g := NewRNG(11, 12)
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		s.Add(g.Weibull(1, 50))
+	}
+	if rel := math.Abs(s.Mean()-50) / 50; rel > 0.02 {
+		t.Fatalf("weibull(1,50) mean %v, want 50", s.Mean())
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	g := NewRNG(13, 14)
+	for i := 0; i < 10000; i++ {
+		x := g.Pareto(1.2, 2, 4096)
+		if x < 2 || x > 4096 {
+			t.Fatalf("bounded pareto sample %v out of [2,4096]", x)
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	g := NewRNG(15, 16)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if g.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("bernoulli(0.3) frequency %v", p)
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	g := NewRNG(17, 18)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[g.Categorical(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category sampled %d times", counts[1])
+	}
+	if r := float64(counts[2]) / float64(counts[0]); math.Abs(r-3) > 0.15 {
+		t.Fatalf("weight ratio %v, want ~3", r)
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	g := NewRNG(1, 1)
+	for _, w := range [][]float64{{0, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for weights %v", w)
+				}
+			}()
+			g.Categorical(w)
+		}()
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Stddev() != 0 {
+		t.Fatal("empty summary should report zeros")
+	}
+	for _, x := range []float64{4, 2, 8, 6} {
+		s.Add(x)
+	}
+	if s.N() != 4 || s.Sum() != 20 || s.Mean() != 5 || s.Min() != 2 || s.Max() != 8 {
+		t.Fatalf("summary: n=%d sum=%v mean=%v min=%v max=%v",
+			s.N(), s.Sum(), s.Mean(), s.Min(), s.Max())
+	}
+	if want := math.Sqrt(5); math.Abs(s.Stddev()-want) > 1e-12 {
+		t.Fatalf("stddev %v, want %v", s.Stddev(), want)
+	}
+}
+
+func TestSummaryPropertyMinLeqMeanLeqMax(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			// keep magnitudes sane for the float comparisons
+			if math.Abs(x) > 1e12 {
+				x = math.Mod(x, 1e12)
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return s.Min() <= s.Mean()+1e-6 && s.Mean() <= s.Max()+1e-6 && s.Var() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 40 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 25 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Median([]float64{7}); got != 7 {
+		t.Fatalf("median single = %v", got)
+	}
+	// input must not be reordered
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	g := NewRNG(1, 1)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("exponential", func() { g.Exponential(0) })
+	mustPanic("weibull", func() { g.Weibull(0, 1) })
+	mustPanic("pareto", func() { g.Pareto(1, 5, 4) })
+	mustPanic("percentile empty", func() { Percentile(nil, 50) })
+	mustPanic("percentile range", func() { Percentile([]float64{1}, 101) })
+}

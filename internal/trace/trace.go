@@ -1,0 +1,164 @@
+// Package trace records the scheduling events of a simulation run —
+// submissions, static and malleable starts, shrink/expand
+// reconfigurations and completions — and derives analysis artefacts from
+// them: a CSV event log and the machine utilisation timeline. It backs
+// sdsim's -trace flag.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"sdpolicy/internal/job"
+)
+
+// Kind is an event type.
+type Kind string
+
+// Event kinds, in lifecycle order.
+const (
+	Submitted    Kind = "submitted"
+	Started      Kind = "started"
+	StartedMall  Kind = "started-malleable"
+	Reconfigured Kind = "reconfigured"
+	Finished     Kind = "finished"
+)
+
+// Event is one recorded scheduling event.
+type Event struct {
+	Time int64
+	Kind Kind
+	Job  job.ID
+	// Value is kind-specific: nodes for starts, total cores for
+	// reconfigurations, 0 otherwise.
+	Value int
+}
+
+// UsagePoint is one step of the utilisation timeline.
+type UsagePoint struct {
+	Time      int64
+	UsedCores int
+}
+
+// Recorder implements sched.Observer, accumulating events and the
+// core-usage timeline.
+type Recorder struct {
+	events []Event
+	usage  []UsagePoint
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// JobSubmitted implements sched.Observer.
+func (r *Recorder) JobSubmitted(now int64, id job.ID) {
+	r.events = append(r.events, Event{Time: now, Kind: Submitted, Job: id})
+}
+
+// JobStarted implements sched.Observer.
+func (r *Recorder) JobStarted(now int64, id job.ID, nodes int, malleable bool) {
+	kind := Started
+	if malleable {
+		kind = StartedMall
+	}
+	r.events = append(r.events, Event{Time: now, Kind: kind, Job: id, Value: nodes})
+}
+
+// JobReconfigured implements sched.Observer.
+func (r *Recorder) JobReconfigured(now int64, id job.ID, totalCores int) {
+	r.events = append(r.events, Event{Time: now, Kind: Reconfigured, Job: id, Value: totalCores})
+}
+
+// JobFinished implements sched.Observer.
+func (r *Recorder) JobFinished(now int64, id job.ID) {
+	r.events = append(r.events, Event{Time: now, Kind: Finished, Job: id})
+}
+
+// Usage implements sched.Observer.
+func (r *Recorder) Usage(now int64, usedCores int) {
+	n := len(r.usage)
+	if n > 0 && r.usage[n-1].Time == now {
+		r.usage[n-1].UsedCores = usedCores
+		return
+	}
+	r.usage = append(r.usage, UsagePoint{Time: now, UsedCores: usedCores})
+}
+
+// Events returns the recorded events in order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Timeline returns the core-usage steps in time order.
+func (r *Recorder) Timeline() []UsagePoint { return r.usage }
+
+// Count returns how many events of the kind were recorded.
+func (r *Recorder) Count(k Kind) int {
+	n := 0
+	for i := range r.events {
+		if r.events[i].Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteCSV emits the event log with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "event", "job", "value"}); err != nil {
+		return err
+	}
+	for _, e := range r.events {
+		rec := []string{
+			strconv.FormatInt(e.Time, 10),
+			string(e.Kind),
+			strconv.FormatInt(int64(e.Job), 10),
+			strconv.Itoa(e.Value),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTimelineCSV emits the utilisation timeline with a header row.
+func (r *Recorder) WriteTimelineCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "used_cores"}); err != nil {
+		return err
+	}
+	for _, p := range r.usage {
+		if err := cw.Write([]string{
+			strconv.FormatInt(p.Time, 10), strconv.Itoa(p.UsedCores),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// MeanUtilization integrates the timeline against the machine's core
+// count, returning the average fraction of allocated cores over
+// [first event, last event]. It returns 0 for fewer than two points.
+func (r *Recorder) MeanUtilization(totalCores int) float64 {
+	if totalCores <= 0 {
+		panic(fmt.Sprintf("trace: non-positive core count %d", totalCores))
+	}
+	if len(r.usage) < 2 {
+		return 0
+	}
+	var coreSeconds float64
+	for i := 1; i < len(r.usage); i++ {
+		dt := float64(r.usage[i].Time - r.usage[i-1].Time)
+		coreSeconds += dt * float64(r.usage[i-1].UsedCores)
+	}
+	span := float64(r.usage[len(r.usage)-1].Time - r.usage[0].Time)
+	if span <= 0 {
+		return 0
+	}
+	return coreSeconds / (span * float64(totalCores))
+}

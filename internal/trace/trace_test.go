@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"sdpolicy/internal/job"
+)
+
+func recordSample() *Recorder {
+	r := NewRecorder()
+	r.JobSubmitted(0, 1)
+	r.JobStarted(0, 1, 2, false)
+	r.Usage(0, 96)
+	r.JobSubmitted(10, 2)
+	r.JobStarted(10, 2, 2, true)
+	r.JobReconfigured(10, 1, 48)
+	r.Usage(10, 96)
+	r.JobFinished(210, 2)
+	r.JobReconfigured(210, 1, 96)
+	r.Usage(210, 96)
+	r.JobFinished(1100, 1)
+	r.Usage(1100, 0)
+	return r
+}
+
+func TestEventRecording(t *testing.T) {
+	r := recordSample()
+	if got := r.Count(Submitted); got != 2 {
+		t.Fatalf("submitted %d, want 2", got)
+	}
+	if got := r.Count(Started); got != 1 {
+		t.Fatalf("static starts %d, want 1", got)
+	}
+	if got := r.Count(StartedMall); got != 1 {
+		t.Fatalf("malleable starts %d, want 1", got)
+	}
+	if got := r.Count(Reconfigured); got != 2 {
+		t.Fatalf("reconfigurations %d, want 2", got)
+	}
+	if got := r.Count(Finished); got != 2 {
+		t.Fatalf("finishes %d, want 2", got)
+	}
+	evs := r.Events()
+	if evs[0].Job != job.ID(1) || evs[0].Kind != Submitted {
+		t.Fatalf("first event %+v", evs[0])
+	}
+}
+
+func TestUsageCoalescesSameTime(t *testing.T) {
+	r := NewRecorder()
+	r.Usage(5, 10)
+	r.Usage(5, 20) // same timestamp: overwrite
+	r.Usage(6, 30)
+	tl := r.Timeline()
+	if len(tl) != 2 || tl[0].UsedCores != 20 || tl[1].UsedCores != 30 {
+		t.Fatalf("timeline %+v", tl)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := recordSample()
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "time,event,job,value\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "10,started-malleable,2,2") {
+		t.Fatalf("malleable start row missing: %q", out)
+	}
+	if got := strings.Count(out, "\n"); got != len(r.Events())+1 {
+		t.Fatalf("row count %d, want %d", got, len(r.Events())+1)
+	}
+}
+
+func TestWriteTimelineCSV(t *testing.T) {
+	r := recordSample()
+	var b strings.Builder
+	if err := r.WriteTimelineCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "time,used_cores") ||
+		!strings.Contains(b.String(), "1100,0") {
+		t.Fatalf("timeline csv: %q", b.String())
+	}
+}
+
+func TestMeanUtilization(t *testing.T) {
+	r := NewRecorder()
+	r.Usage(0, 100)
+	r.Usage(50, 0)
+	r.Usage(100, 0)
+	// 50s at 100 cores + 50s at 0 over 100s on a 200-core machine
+	want := (50.0 * 100) / (100 * 200)
+	if got := r.MeanUtilization(200); got != want {
+		t.Fatalf("utilization %v, want %v", got, want)
+	}
+	if NewRecorder().MeanUtilization(10) != 0 {
+		t.Fatal("empty recorder should report 0 utilization")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero cores")
+		}
+	}()
+	r.MeanUtilization(0)
+}

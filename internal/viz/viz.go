@@ -1,0 +1,209 @@
+// Package viz renders the paper's figures as ASCII charts: horizontal
+// bar charts for the normalised-metric figures (1-3, 8, 9), shaded
+// matrices for the category heatmaps (4-6) and multi-series line plots
+// for the per-day slowdown trends (7). Everything writes plain text so
+// the experiment harness works in any terminal and its output can be
+// archived next to the paper's plots.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// HBarConfig tunes HBar rendering.
+type HBarConfig struct {
+	Width     int     // bar area width in characters (default 40)
+	Reference float64 // draw a reference tick at this value (0 = none)
+	Format    string  // value format (default "%.3f")
+}
+
+// HBar renders a horizontal bar chart. Values must be non-negative;
+// the bar area is scaled to the largest value (or the reference,
+// whichever is larger).
+func HBar(w io.Writer, title string, bars []Bar, cfg HBarConfig) {
+	if cfg.Width <= 0 {
+		cfg.Width = 40
+	}
+	if cfg.Format == "" {
+		cfg.Format = "%.3f"
+	}
+	maxVal := cfg.Reference
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	refCol := -1
+	if cfg.Reference > 0 {
+		refCol = int(cfg.Reference / maxVal * float64(cfg.Width))
+		if refCol >= cfg.Width {
+			refCol = cfg.Width - 1
+		}
+	}
+	for _, b := range bars {
+		if b.Value < 0 {
+			panic(fmt.Sprintf("viz: negative bar value %v", b.Value))
+		}
+		n := int(math.Round(b.Value / maxVal * float64(cfg.Width)))
+		if n > cfg.Width {
+			n = cfg.Width
+		}
+		cells := make([]byte, cfg.Width)
+		for i := range cells {
+			switch {
+			case i < n:
+				cells[i] = '#'
+			case i == refCol:
+				cells[i] = '|'
+			default:
+				cells[i] = ' '
+			}
+		}
+		fmt.Fprintf(w, "  %-*s %s "+cfg.Format+"\n", labelW, b.Label, string(cells), b.Value)
+	}
+}
+
+// shades maps a value in [0, 1] to a density character.
+var shades = []byte(" .:-=+*#%@")
+
+// Heat renders a matrix with row and column labels. NaN cells render as
+// blanks. Values are normalised to the finite maximum.
+func Heat(w io.Writer, title string, rowLabels, colLabels []string, cells [][]float64) {
+	if len(cells) != len(rowLabels) {
+		panic(fmt.Sprintf("viz: %d rows, %d labels", len(cells), len(rowLabels)))
+	}
+	maxVal := 0.0
+	for _, row := range cells {
+		for _, v := range row {
+			if !math.IsNaN(v) && v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	fmt.Fprintf(w, "  %-*s ", labelW, "")
+	for _, cl := range colLabels {
+		fmt.Fprintf(w, "%7s", cl)
+	}
+	fmt.Fprintln(w)
+	for i, row := range cells {
+		empty := true
+		for _, v := range row {
+			if !math.IsNaN(v) {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			continue
+		}
+		fmt.Fprintf(w, "  %-*s ", labelW, rowLabels[i])
+		for _, v := range row {
+			if math.IsNaN(v) {
+				fmt.Fprintf(w, "%7s", "-")
+				continue
+			}
+			shade := shades[int(math.Min(v/maxVal, 1)*float64(len(shades)-1))]
+			fmt.Fprintf(w, "  %c%4.1f", shade, v)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  shading: ' %s' low to high, max %.2f\n", string(shades[1:]), maxVal)
+}
+
+// Series is one named line of a time-series plot.
+type Series struct {
+	Name   string
+	Points []float64
+}
+
+// Plot renders one or more series over a shared x axis as an ASCII line
+// plot of the given height. Series are distinguished by marker
+// characters in legend order. The x axis is the point index.
+func Plot(w io.Writer, title string, height int, series []Series) {
+	if height <= 1 {
+		height = 10
+	}
+	maxLen, maxVal := 0, 0.0
+	for _, s := range series {
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+		for _, v := range s.Points {
+			if !math.IsNaN(v) && v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxLen == 0 {
+		fmt.Fprintln(w, title+" (no data)")
+		return
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	markers := []byte("*o+x@")
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", maxLen))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for x, v := range s.Points {
+			if math.IsNaN(v) {
+				continue
+			}
+			r := height - 1 - int(v/maxVal*float64(height-1))
+			if r < 0 {
+				r = 0
+			}
+			if r >= height {
+				r = height - 1
+			}
+			grid[r][x] = m
+		}
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	for r, row := range grid {
+		yVal := maxVal * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(w, "  %10.1f |%s\n", yVal, string(row))
+	}
+	fmt.Fprintf(w, "  %10s +%s\n", "", strings.Repeat("-", maxLen))
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(w, "  x: index 0..%d, legend: %s\n", maxLen-1, strings.Join(legend, ", "))
+}

@@ -1,0 +1,107 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHBar(t *testing.T) {
+	var b strings.Builder
+	HBar(&b, "test chart", []Bar{
+		{"static", 1.0},
+		{"sd", 0.5},
+	}, HBarConfig{Width: 20, Reference: 1.0})
+	out := b.String()
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "static") || !strings.Contains(out, "sd") {
+		t.Fatal("missing labels")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 lines, got %d: %q", len(lines), out)
+	}
+	full := strings.Count(lines[1], "#")
+	half := strings.Count(lines[2], "#")
+	if full != 20 || half != 10 {
+		t.Fatalf("bar widths: full=%d half=%d, want 20/10", full, half)
+	}
+}
+
+func TestHBarReferenceTick(t *testing.T) {
+	var b strings.Builder
+	HBar(&b, "", []Bar{{"a", 0.25}}, HBarConfig{Width: 20, Reference: 1.0})
+	if !strings.Contains(b.String(), "|") {
+		t.Fatal("reference tick missing")
+	}
+}
+
+func TestHBarPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var b strings.Builder
+	HBar(&b, "", []Bar{{"a", -1}}, HBarConfig{})
+}
+
+func TestHeat(t *testing.T) {
+	var b strings.Builder
+	cells := [][]float64{
+		{1, 2},
+		{math.NaN(), math.NaN()}, // empty row: skipped
+		{4, math.NaN()},
+	}
+	Heat(&b, "heat", []string{"r1", "r2", "r3"}, []string{"c1", "c2"}, cells)
+	out := b.String()
+	if !strings.Contains(out, "r1") || !strings.Contains(out, "r3") {
+		t.Fatal("row labels missing")
+	}
+	if strings.Contains(out, "r2") {
+		t.Fatal("empty row not skipped")
+	}
+	if !strings.Contains(out, "max 4.00") {
+		t.Fatalf("max annotation missing: %q", out)
+	}
+}
+
+func TestHeatPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var b strings.Builder
+	Heat(&b, "", []string{"one"}, nil, [][]float64{{1}, {2}})
+}
+
+func TestPlot(t *testing.T) {
+	var b strings.Builder
+	Plot(&b, "trend", 5, []Series{
+		{Name: "static", Points: []float64{1, 2, 3, 4}},
+		{Name: "sd", Points: []float64{1, 1, 1, 1}},
+	})
+	out := b.String()
+	if !strings.Contains(out, "trend") || !strings.Contains(out, "* static") || !strings.Contains(out, "o sd") {
+		t.Fatalf("plot output incomplete: %q", out)
+	}
+	if strings.Count(out, "\n") < 6 {
+		t.Fatal("plot too short")
+	}
+	// the max value (4) must sit on the top row
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("max point not on top row: %q", lines[1])
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	var b strings.Builder
+	Plot(&b, "empty", 5, nil)
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatal("empty plot not flagged")
+	}
+}

@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sdpolicy/internal/job"
+)
+
+func TestPresetsValidateAndScale(t *testing.T) {
+	for _, name := range Names() {
+		spec, err := ByName(name, 0.1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(spec.Jobs) == 0 {
+			t.Fatalf("%s: empty workload", name)
+		}
+		if spec.TotalWork() <= 0 {
+			t.Fatalf("%s: no work", name)
+		}
+	}
+	if _, err := ByName("wl9", 1, 1); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	// Full-scale workloads must match the Table 1 inventory.
+	cases := []struct {
+		name     string
+		jobs     int
+		nodes    int
+		cores    int
+		maxNodes int
+	}{
+		{"wl1", 5000, 1024, 49152, 128},
+		{"wl2", 5000, 1024, 49152, 128},
+		{"wl3", 10000, 1024, 8192, 72},
+		{"wl4", 198509, 5040, 80640, 4988},
+		{"wl5", 2000, 49, 2352, 16},
+	}
+	for _, c := range cases {
+		spec, err := ByName(c.name, 1.0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(spec.Jobs) != c.jobs {
+			t.Errorf("%s: %d jobs, want %d", c.name, len(spec.Jobs), c.jobs)
+		}
+		if spec.Cluster.Nodes != c.nodes {
+			t.Errorf("%s: %d nodes, want %d", c.name, spec.Cluster.Nodes, c.nodes)
+		}
+		if got := spec.Cluster.TotalCores(); got != c.cores {
+			t.Errorf("%s: %d cores, want %d", c.name, got, c.cores)
+		}
+		maxSeen := 0
+		for i := range spec.Jobs {
+			if spec.Jobs[i].ReqNodes > maxSeen {
+				maxSeen = spec.Jobs[i].ReqNodes
+			}
+		}
+		if maxSeen > c.maxNodes {
+			t.Errorf("%s: job of %d nodes exceeds Table 1 max %d", c.name, maxSeen, c.maxNodes)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := WL1(0.1, 7)
+	b := WL1(0.1, 7)
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatal("job counts differ")
+	}
+	for i := range a.Jobs {
+		if !reflect.DeepEqual(a.Jobs[i], b.Jobs[i]) {
+			t.Fatalf("job %d differs", i)
+		}
+	}
+	c := WL1(0.1, 8)
+	same := true
+	for i := range a.Jobs {
+		if !reflect.DeepEqual(a.Jobs[i], c.Jobs[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestWL2ExactRequests(t *testing.T) {
+	spec := WL2(0.1, 5)
+	for i := range spec.Jobs {
+		if spec.Jobs[i].ReqTime != spec.Jobs[i].ActualTime {
+			t.Fatalf("job %d: req %d != actual %d (WL2 must be exact)",
+				i, spec.Jobs[i].ReqTime, spec.Jobs[i].ActualTime)
+		}
+	}
+}
+
+func TestWL1RequestsOverestimate(t *testing.T) {
+	spec := WL1(0.1, 5)
+	over := 0
+	for i := range spec.Jobs {
+		j := &spec.Jobs[i]
+		if j.ActualTime > j.ReqTime {
+			t.Fatalf("job %d: actual exceeds request", i)
+		}
+		if j.ReqTime > j.ActualTime {
+			over++
+		}
+	}
+	if frac := float64(over) / float64(len(spec.Jobs)); frac < 0.5 {
+		t.Fatalf("only %.0f%% of requests overestimate; users should overestimate mostly", frac*100)
+	}
+}
+
+func TestOfferedLoadIsRealised(t *testing.T) {
+	spec := WL1(0.25, 9)
+	span := spec.Jobs[len(spec.Jobs)-1].Submit
+	load := spec.TotalWork() / (float64(spec.Cluster.Nodes) * float64(span))
+	if math.Abs(load-2.2) > 0.12 {
+		t.Fatalf("realised load %.2f, configured 2.2", load)
+	}
+}
+
+func TestWL5AppMix(t *testing.T) {
+	spec := WL5(1.0, 11)
+	counts := AppCounts(&spec)
+	total := len(spec.Jobs)
+	// Table 2 shares within generous sampling tolerance.
+	want := map[job.AppClass]float64{
+		job.AppPILS: 0.305, job.AppSTREAM: 0.308, job.AppCoreNeuron: 0.355,
+		job.AppNEST: 0.026, job.AppAlya: 0.006,
+	}
+	for app, share := range want {
+		got := float64(counts[app]) / float64(total)
+		if math.Abs(got-share) > 0.04 {
+			t.Errorf("%v share %.3f, want %.3f", app, got, share)
+		}
+	}
+	if counts[job.AppGeneric] != 0 {
+		t.Error("WL5 left generic jobs")
+	}
+}
+
+func TestSetMalleableFraction(t *testing.T) {
+	spec := WL1(0.1, 1)
+	SetMalleableFraction(&spec, 0.25)
+	mall := 0
+	for i := range spec.Jobs {
+		if spec.Jobs[i].Kind == job.Malleable {
+			mall++
+		}
+	}
+	frac := float64(mall) / float64(len(spec.Jobs))
+	if math.Abs(frac-0.25) > 0.05 {
+		t.Fatalf("malleable fraction %.2f, want 0.25", frac)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad fraction accepted")
+		}
+	}()
+	SetMalleableFraction(&spec, 1.5)
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	spec := WL5(0.2, 1)
+	spec.Jobs[3].Submit = spec.Jobs[2].Submit - 100 // out of order
+	if spec.Validate() == nil {
+		t.Fatal("out-of-order submissions accepted")
+	}
+	spec = WL5(0.2, 1)
+	spec.Jobs[0].ReqNodes = spec.Cluster.Nodes + 1
+	if spec.Validate() == nil {
+		t.Fatal("oversized job accepted")
+	}
+}
+
+func TestSortBySubmit(t *testing.T) {
+	jobs := []job.Job{
+		{ID: 9, Submit: 50, ReqTime: 10, ActualTime: 10, ReqNodes: 1, TasksPerNode: 1},
+		{ID: 8, Submit: 10, ReqTime: 10, ActualTime: 10, ReqNodes: 1, TasksPerNode: 1},
+	}
+	SortBySubmit(jobs)
+	if jobs[0].Submit != 10 || jobs[0].ID != 1 || jobs[1].ID != 2 {
+		t.Fatalf("sorted: %+v", jobs)
+	}
+}
+
+func TestGenerateParamValidation(t *testing.T) {
+	spec := WL5(0.2, 1)
+	bad := []Params{
+		{Jobs: 0, MaxNodes: 1, Load: 1, MinRuntime: 1, MaxRuntime: 2},
+		{Jobs: 1, MaxNodes: 0, Load: 1, MinRuntime: 1, MaxRuntime: 2},
+		{Jobs: 1, MaxNodes: 1, Load: 0, MinRuntime: 1, MaxRuntime: 2},
+		{Jobs: 1, MaxNodes: 1, Load: 1, MinRuntime: 0, MaxRuntime: 2},
+		{Jobs: 1, MaxNodes: 1, Load: 1, MinRuntime: 3, MaxRuntime: 2},
+		{Jobs: 1, MaxNodes: 1, Load: 1, MinRuntime: 1, MaxRuntime: 2, MalleableFrac: 2},
+	}
+	for i, p := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid params accepted", i)
+				}
+			}()
+			Generate(spec.Cluster, p)
+		}()
+	}
+}

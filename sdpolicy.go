@@ -1,0 +1,356 @@
+// Package sdpolicy is the public API of the SD-Policy reproduction: a
+// discrete-event HPC scheduling laboratory implementing the Slowdown
+// Driven (SD) malleable-job policy of D'Amico, Jokanovic and Corbalan
+// (ICPP 2019) next to a conservative-backfill baseline, the DROM
+// node-level malleability substrate, the paper's runtime models, workload
+// generators for its five evaluation workloads, and the metrics needed to
+// regenerate every table and figure of the paper.
+//
+// Quick start:
+//
+//	w, _ := sdpolicy.NewWorkload("wl5", 0.5, 1)
+//	static, _ := sdpolicy.Simulate(w, sdpolicy.Options{Policy: "static"})
+//	sd, _ := sdpolicy.Simulate(w, sdpolicy.Options{Policy: "sd", MaxSlowdown: 10})
+//	fmt.Println(static.AvgSlowdown, "->", sd.AvgSlowdown)
+package sdpolicy
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"sdpolicy/internal/apps"
+	"sdpolicy/internal/cluster"
+	"sdpolicy/internal/job"
+	"sdpolicy/internal/metrics"
+	"sdpolicy/internal/model"
+	"sdpolicy/internal/sched"
+	"sdpolicy/internal/swf"
+	"sdpolicy/internal/workload"
+)
+
+// Workload is a machine description plus a job stream, ready to simulate.
+type Workload struct {
+	spec workload.Spec
+}
+
+// NewWorkload builds one of the paper's Table 1 workload presets
+// ("wl1".."wl5"). scale in (0, 1] shrinks the machine and the job count
+// proportionally for faster experiments; seed drives the deterministic
+// generator.
+func NewWorkload(name string, scale float64, seed uint64) (Workload, error) {
+	if scale <= 0 || scale > 1 {
+		return Workload{}, fmt.Errorf("sdpolicy: scale %v out of (0,1]", scale)
+	}
+	spec, err := workload.ByName(name, scale, seed)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{spec: spec}, nil
+}
+
+// LoadSWF reads a Standard Workload Format trace (e.g. the real RICC or
+// CEA-Curie logs from the Parallel Workloads Archive) onto a machine with
+// the given geometry. All jobs are treated as malleable.
+func LoadSWF(path string, nodes, sockets, coresPerSocket int) (Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Workload{}, err
+	}
+	defer f.Close()
+	recs, err := swf.Parse(f)
+	if err != nil {
+		return Workload{}, err
+	}
+	cfg := cluster.Config{Nodes: nodes, Sockets: sockets, CoresPerSocket: coresPerSocket}
+	jobs := swf.ToJobs(recs, cfg.CoresPerNode(), job.Malleable)
+	workload.SortBySubmit(jobs)
+	w := Workload{spec: workload.Spec{Name: path, Cluster: cfg, Jobs: jobs}}
+	if err := w.spec.Validate(); err != nil {
+		return Workload{}, err
+	}
+	return w, nil
+}
+
+// Name returns the workload identifier.
+func (w Workload) Name() string { return w.spec.Name }
+
+// Jobs returns the number of jobs.
+func (w Workload) Jobs() int { return len(w.spec.Jobs) }
+
+// Nodes returns the machine's node count.
+func (w Workload) Nodes() int { return w.spec.Cluster.Nodes }
+
+// Cores returns the machine's total core count.
+func (w Workload) Cores() int { return w.spec.Cluster.TotalCores() }
+
+// MaxJobNodes returns the largest node request in the stream.
+func (w Workload) MaxJobNodes() int {
+	m := 0
+	for i := range w.spec.Jobs {
+		if w.spec.Jobs[i].ReqNodes > m {
+			m = w.spec.Jobs[i].ReqNodes
+		}
+	}
+	return m
+}
+
+// SetMalleableFraction re-flags the given fraction of jobs as malleable
+// and the rest rigid (mixed-workload experiments).
+func (w *Workload) SetMalleableFraction(frac float64) {
+	workload.SetMalleableFraction(&w.spec, frac)
+}
+
+// TagNodes attaches a feature string (architecture, memory class,
+// interconnect, ...) to the given fraction of nodes, making the machine
+// heterogeneous. Nodes are tagged deterministically by striping.
+func (w *Workload) TagNodes(feature string, frac float64) {
+	if frac < 0 || frac > 1 {
+		panic(fmt.Sprintf("sdpolicy: fraction %v out of [0,1]", frac))
+	}
+	if w.spec.NodeFeatures == nil {
+		w.spec.NodeFeatures = map[int][]string{}
+	}
+	for nd := 0; nd < w.spec.Cluster.Nodes; nd++ {
+		if float64(nd%100) < frac*100 {
+			w.spec.NodeFeatures[nd] = append(w.spec.NodeFeatures[nd], feature)
+		}
+	}
+}
+
+// RequireFeature makes the given fraction of jobs (striped
+// deterministically) require the feature on every allocated node —
+// the constraint-filtering behaviour of Section 3.2.4.
+func (w *Workload) RequireFeature(feature string, frac float64) {
+	if frac < 0 || frac > 1 {
+		panic(fmt.Sprintf("sdpolicy: fraction %v out of [0,1]", frac))
+	}
+	for i := range w.spec.Jobs {
+		if float64(i%100) < frac*100 {
+			w.spec.Jobs[i].Features = append(w.spec.Jobs[i].Features, feature)
+		}
+	}
+}
+
+// AppShares returns the fraction of jobs per application class name —
+// the Table 2 composition for the real-run workload.
+func (w Workload) AppShares() map[string]float64 {
+	counts := workload.AppCounts(&w.spec)
+	out := make(map[string]float64, len(counts))
+	for app, n := range counts {
+		out[app.String()] = float64(n) / float64(len(w.spec.Jobs))
+	}
+	return out
+}
+
+// Options configures one simulation. The zero value simulates the static
+// conservative-backfill baseline under the ideal runtime model.
+type Options struct {
+	// Policy is "static" (default), "sd", or "oversubscribe" — the
+	// non-adaptive node-sharing baseline of the paper's related work.
+	Policy string
+	// MaxSlowdown is the static MAX_SLOWDOWN cut-off; 0 means infinite.
+	MaxSlowdown float64
+	// DynamicCutoff selects feedback cut-offs: "" (static), "avg"
+	// (DynAVGSD), "median", or "p70".
+	DynamicCutoff string
+	// Model is "ideal" (default), "worst", or "app".
+	Model string
+	// SharingFactor defaults to 0.5 (one of two sockets).
+	SharingFactor float64
+	// MaxMates defaults to 2.
+	MaxMates int
+	// CandidateCap defaults to 64.
+	CandidateCap int
+	// BackfillDepth defaults to 100.
+	BackfillDepth int
+	// Backfill selects the reservation discipline: "conservative"
+	// (default — every examined waiting job holds a reservation) or
+	// "easy" (only the queue head does).
+	Backfill string
+	// IncludeFreeNodes enables mixing free nodes into mate selections.
+	IncludeFreeNodes bool
+	// DROMOverhead is the simulated seconds per reconfiguration.
+	DROMOverhead int64
+	// OversubPenalty is the fractional throughput loss per shared job
+	// under the "oversubscribe" policy (default 0.15).
+	OversubPenalty float64
+}
+
+func (o Options) toConfig() (sched.Config, error) {
+	cfg := sched.Defaults()
+	switch o.Policy {
+	case "", "static":
+		cfg.Policy = sched.StaticBackfill
+	case "sd":
+		cfg.Policy = sched.SDPolicy
+	case "oversubscribe":
+		cfg.Policy = sched.Oversubscribe
+		cfg.OversubPenalty = 0.15
+		if o.OversubPenalty > 0 {
+			cfg.OversubPenalty = o.OversubPenalty
+		}
+	default:
+		return cfg, fmt.Errorf("sdpolicy: unknown policy %q", o.Policy)
+	}
+	if o.MaxSlowdown > 0 {
+		cfg.MaxSlowdown = o.MaxSlowdown
+	} else {
+		cfg.MaxSlowdown = math.Inf(1)
+	}
+	switch o.DynamicCutoff {
+	case "":
+	case "avg":
+		cfg.Cutoff = sched.CutoffDynAvg
+	case "median":
+		cfg.Cutoff = sched.CutoffDynMedian
+	case "p70":
+		cfg.Cutoff = sched.CutoffDynP70
+	default:
+		return cfg, fmt.Errorf("sdpolicy: unknown dynamic cutoff %q", o.DynamicCutoff)
+	}
+	switch o.Model {
+	case "", "ideal":
+		cfg.RuntimeModel = model.Ideal
+	case "worst":
+		cfg.RuntimeModel = model.WorstCase
+	case "app":
+		cfg.RuntimeModel = model.App
+		cfg.Speedups = apps.SpeedupProvider
+	default:
+		return cfg, fmt.Errorf("sdpolicy: unknown model %q", o.Model)
+	}
+	if o.SharingFactor > 0 {
+		cfg.SharingFactor = o.SharingFactor
+	}
+	if o.MaxMates > 0 {
+		cfg.MaxMates = o.MaxMates
+	}
+	if o.CandidateCap > 0 {
+		cfg.CandidateCap = o.CandidateCap
+	}
+	if o.BackfillDepth > 0 {
+		cfg.BackfillDepth = o.BackfillDepth
+	}
+	switch o.Backfill {
+	case "", "conservative":
+		cfg.ReservationDepth = cfg.BackfillDepth
+	case "easy":
+		cfg.ReservationDepth = 1
+	default:
+		return cfg, fmt.Errorf("sdpolicy: unknown backfill discipline %q", o.Backfill)
+	}
+	cfg.IncludeFreeNodes = o.IncludeFreeNodes
+	cfg.DROMOverhead = o.DROMOverhead
+	return cfg, nil
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Workload    string
+	Policy      string
+	Jobs        int
+	Makespan    int64
+	AvgResponse float64
+	AvgWait     float64
+	AvgSlowdown float64
+	// AvgBoundedSlowdown uses the customary 10-minute bound, damping the
+	// influence of sub-bound jobs (Feitelson's metric).
+	AvgBoundedSlowdown float64
+	// P95Slowdown is the 95th percentile of per-job slowdowns.
+	P95Slowdown     float64
+	EnergyKWh       float64
+	MalleableStarts int
+	Mates           int
+
+	report metrics.Report
+}
+
+// DayPoint is one sample of the Figure 7 per-day series.
+type DayPoint struct {
+	Day             int
+	Jobs            int
+	AvgSlowdown     float64
+	MalleableStarts int
+}
+
+// Daily returns the per-day average slowdown and malleable-start counts.
+func (r *Result) Daily() []DayPoint {
+	days := r.report.Daily()
+	out := make([]DayPoint, len(days))
+	for i, d := range days {
+		out[i] = DayPoint{Day: d.Day, Jobs: d.Jobs,
+			AvgSlowdown: d.AvgSlowdown, MalleableStarts: d.MalleableStarts}
+	}
+	return out
+}
+
+// HeatmapMetric names a per-job quantity for category heatmaps.
+type HeatmapMetric string
+
+// Heatmap metrics of Figures 4-6.
+const (
+	HeatSlowdown HeatmapMetric = "slowdown"
+	HeatRunTime  HeatmapMetric = "runtime"
+	HeatWait     HeatmapMetric = "wait"
+)
+
+func (m HeatmapMetric) internal() metrics.Metric {
+	switch m {
+	case HeatSlowdown:
+		return metrics.MetricSlowdown
+	case HeatRunTime:
+		return metrics.MetricRunTime
+	case HeatWait:
+		return metrics.MetricWait
+	}
+	panic(fmt.Sprintf("sdpolicy: unknown heatmap metric %q", string(m)))
+}
+
+// HeatmapRatio returns base/other cell ratios of the metric over (node
+// bucket × runtime bucket) job categories — the Figures 4-6 convention
+// with r as the static baseline and other as the SD run: values > 1 mean
+// SD improved that category. Empty cells are NaN.
+func (r *Result) HeatmapRatio(other *Result, m HeatmapMetric) [][]float64 {
+	return r.report.NewHeatmap(m.internal()).Ratio(other.report.NewHeatmap(m.internal()))
+}
+
+// HeatmapLabels returns the row (node bucket) and column (runtime
+// bucket) labels matching HeatmapRatio's layout.
+func HeatmapLabels() (nodeBuckets, timeBuckets []string) {
+	for i := range metrics.NodeEdges {
+		nodeBuckets = append(nodeBuckets, metrics.NodeBucketLabel(i))
+	}
+	for i := range metrics.TimeEdges {
+		timeBuckets = append(timeBuckets, metrics.TimeBucketLabel(i))
+	}
+	return nodeBuckets, timeBuckets
+}
+
+// Simulate runs the workload under the options and returns the metrics.
+func Simulate(w Workload, opt Options) (*Result, error) {
+	cfg, err := opt.toConfig()
+	if err != nil {
+		return nil, err
+	}
+	res, err := sched.Run(w.spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := res.Report
+	return &Result{
+		Workload:           res.Workload,
+		Policy:             res.Policy.String(),
+		Jobs:               len(rep.Results),
+		Makespan:           rep.Makespan(),
+		AvgResponse:        rep.AvgResponse(),
+		AvgWait:            rep.AvgWait(),
+		AvgSlowdown:        rep.AvgSlowdown(),
+		AvgBoundedSlowdown: rep.AvgBoundedSlowdown(600),
+		P95Slowdown:        rep.SlowdownPercentile(95),
+		EnergyKWh:          res.EnergyJoules / 3.6e6,
+		MalleableStarts:    res.MalleableStarts,
+		Mates:              res.Mates,
+		report:             rep,
+	}, nil
+}
