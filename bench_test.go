@@ -9,7 +9,9 @@ package sdpolicy
 // numbers produced by cmd/sdexp.
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -169,6 +171,49 @@ func BenchmarkAblation_FreeNodeMixing(b *testing.B) {
 			for _, r := range rows {
 				b.ReportMetric(r.AvgSlowdown, "mix-"+r.Value+"-slowdown-norm")
 			}
+		}
+	}
+}
+
+// BenchmarkCampaignParallel measures campaign throughput of the same
+// Figures 1-3 sweep on a single worker versus the full worker pool. The
+// cache is disabled so every iteration simulates all points: the
+// workers=1 case is the sequential baseline, and the ns/op ratio
+// between the two sub-benchmarks is the parallel speedup. Each
+// sub-benchmark also reports points/s.
+func BenchmarkCampaignParallel(b *testing.B) {
+	workloads := []string{"wl1", "wl2", "wl3", "wl5"}
+	points := len(workloads) * (1 + len(MaxSDVariants()))
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			engine := NewEngine(workers, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.SweepMaxSD(context.Background(), workloads, benchScale, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(points*b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}
+
+// BenchmarkCampaignCached measures the memoised path: after the first
+// iteration warms the cache, every sweep is pure cache hits.
+func BenchmarkCampaignCached(b *testing.B) {
+	engine := NewEngine(runtime.GOMAXPROCS(0), 128)
+	workloads := []string{"wl1", "wl2", "wl3", "wl5"}
+	if _, err := engine.SweepMaxSD(context.Background(), workloads, benchScale, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.SweepMaxSD(context.Background(), workloads, benchScale, 1); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,0 +1,202 @@
+package sdpolicy
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"sdpolicy/internal/campaign"
+)
+
+// Point is one independent simulation task of a campaign: a workload
+// preset at a scale and seed, simulated under Options. Points are
+// comparable values; two Points that canonicalise equally identify the
+// same simulation and share one cached result.
+type Point struct {
+	Workload string
+	Scale    float64
+	Seed     uint64
+	// MalleableFraction, when in [0, 1], re-flags that fraction of jobs
+	// malleable before simulating (mixed-workload experiments). A
+	// negative value keeps the generated mix. NewPoint sets -1.
+	MalleableFraction float64
+	Options           Options
+}
+
+// NewPoint builds a Point with the generated malleable mix kept as is.
+func NewPoint(workload string, scale float64, seed uint64, opt Options) Point {
+	return Point{Workload: workload, Scale: scale, Seed: seed, MalleableFraction: -1, Options: opt}
+}
+
+// validate rejects float fields that would corrupt the campaign's
+// map-based bookkeeping: NaN is never a valid map key (NaN != NaN, so
+// a NaN-keyed point could simulate yet never deliver its result), and
+// infinities are only meaningful for MaxSlowdown.
+func (p Point) validate() error {
+	bad := func(field string, v float64) error {
+		return fmt.Errorf("sdpolicy: point %s %v is not a finite number: %w", field, v, ErrBadInput)
+	}
+	if math.IsNaN(p.Scale) || math.IsInf(p.Scale, 0) {
+		return bad("scale", p.Scale)
+	}
+	if math.IsNaN(p.MalleableFraction) || math.IsInf(p.MalleableFraction, 0) {
+		return bad("malleable fraction", p.MalleableFraction)
+	}
+	if math.IsNaN(p.Options.MaxSlowdown) {
+		return bad("max slowdown", p.Options.MaxSlowdown)
+	}
+	if math.IsNaN(p.Options.SharingFactor) || math.IsInf(p.Options.SharingFactor, 0) {
+		return bad("sharing factor", p.Options.SharingFactor)
+	}
+	if math.IsNaN(p.Options.OversubPenalty) || math.IsInf(p.Options.OversubPenalty, 0) {
+		return bad("oversubscription penalty", p.Options.OversubPenalty)
+	}
+	return nil
+}
+
+// canonical normalises the point so that syntactically different but
+// semantically identical points (e.g. Policy "" vs "static") share one
+// cache entry.
+func (p Point) canonical() Point {
+	if p.MalleableFraction < 0 {
+		p.MalleableFraction = -1
+	}
+	p.Options = p.Options.canonical()
+	return p
+}
+
+// canonical fills every defaulted Options field with its effective
+// value, mirroring toConfig, so Options values are usable as cache keys.
+func (o Options) canonical() Options {
+	if o.Policy == "" {
+		o.Policy = "static"
+	}
+	if o.MaxSlowdown <= 0 {
+		o.MaxSlowdown = math.Inf(1)
+	}
+	if o.Model == "" {
+		o.Model = "ideal"
+	}
+	if o.SharingFactor <= 0 {
+		o.SharingFactor = 0.5
+	}
+	if o.MaxMates <= 0 {
+		o.MaxMates = 2
+	}
+	if o.CandidateCap <= 0 {
+		o.CandidateCap = 64
+	}
+	if o.BackfillDepth <= 0 {
+		o.BackfillDepth = 100
+	}
+	if o.Backfill == "" {
+		o.Backfill = "conservative"
+	}
+	if o.Policy == "oversubscribe" && o.OversubPenalty <= 0 {
+		o.OversubPenalty = 0.15
+	}
+	return o
+}
+
+// DeriveSeed deterministically expands a base seed into independent
+// per-replicate seeds; replicate 0 returns the base seed itself so a
+// one-replicate campaign matches a direct run.
+func DeriveSeed(base uint64, replicate int) uint64 {
+	if replicate == 0 {
+		return base
+	}
+	return campaign.DeriveSeed(base, replicate)
+}
+
+// Engine runs simulation campaigns across a worker pool with memoised
+// results. The zero value is not usable; use NewEngine or Default. An
+// Engine is safe for concurrent use — overlapping campaigns share the
+// cache and never simulate the same canonical Point twice at once.
+type Engine struct {
+	runner *campaign.Runner[Point, *Result]
+}
+
+// NewEngine builds an Engine with the given worker-pool size
+// (<= 0 means GOMAXPROCS) and result-cache capacity in points
+// (<= 0 disables cross-campaign memoisation).
+func NewEngine(workers, cacheSize int) *Engine {
+	e := &Engine{}
+	e.runner = campaign.New(func(ctx context.Context, p Point) (*Result, error) {
+		res, err := simulatePoint(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s (scale %g, seed %d, %s): %w",
+				p.Workload, p.Scale, p.Seed, p.Options.Policy, err)
+		}
+		return res, nil
+	}, campaign.Config{Workers: workers, CacheSize: cacheSize})
+	return e
+}
+
+func simulatePoint(p Point) (*Result, error) {
+	// Reject out-of-range fractions (including NaN) here rather than
+	// letting SetMalleableFraction panic inside a worker goroutine.
+	// canonical() collapses every negative to the -1 "keep mix" sentinel.
+	if !(p.MalleableFraction == -1 || (p.MalleableFraction >= 0 && p.MalleableFraction <= 1)) {
+		return nil, fmt.Errorf("sdpolicy: malleable fraction %v out of [0,1]: %w", p.MalleableFraction, ErrBadInput)
+	}
+	w, err := NewWorkload(p.Workload, p.Scale, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if p.MalleableFraction >= 0 {
+		w.SetMalleableFraction(p.MalleableFraction)
+	}
+	return Simulate(w, p.Options)
+}
+
+var (
+	defaultEngine     *Engine
+	defaultEngineOnce sync.Once
+)
+
+// Default returns the process-wide Engine (GOMAXPROCS workers, 512
+// cached points) used by the package-level experiment functions.
+func Default() *Engine {
+	defaultEngineOnce.Do(func() {
+		defaultEngine = NewEngine(runtime.GOMAXPROCS(0), 512)
+	})
+	return defaultEngine
+}
+
+// Run resolves every point in parallel and returns results aligned
+// with points: results[i] belongs to points[i]. Duplicate points (after
+// canonicalisation) simulate once. The first simulation error cancels
+// the remaining work; ctx cancellation aborts the campaign between
+// tasks.
+func (e *Engine) Run(ctx context.Context, points []Point) ([]*Result, error) {
+	keys := make([]Point, len(points))
+	for i, p := range points {
+		if err := p.validate(); err != nil {
+			return nil, err
+		}
+		keys[i] = p.canonical()
+	}
+	return e.runner.Run(ctx, keys)
+}
+
+// SimulatePoint resolves one point through the engine's cache.
+func (e *Engine) SimulatePoint(ctx context.Context, p Point) (*Result, error) {
+	res, err := e.Run(ctx, []Point{p})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// OnProgress registers a callback invoked after each campaign point
+// resolves with (resolved, total) counts for the running campaign.
+func (e *Engine) OnProgress(fn func(done, total int)) { e.runner.OnProgress(fn) }
+
+// Workers returns the engine's worker-pool size.
+func (e *Engine) Workers() int { return e.runner.Workers() }
+
+// CacheStats returns how many point resolutions were served from the
+// memoisation layer versus simulated.
+func (e *Engine) CacheStats() (hits, misses uint64) { return e.runner.Stats() }

@@ -17,13 +17,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"sdpolicy"
@@ -32,14 +36,29 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all | table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | ablations")
-		scale  = flag.Float64("scale", 0.1, "workload scale factor (0,1]")
-		seed   = flag.Uint64("seed", 1, "generator seed")
-		outDir = flag.String("out", "", "also write each experiment's output under this directory")
+		exp      = flag.String("exp", "all", "experiment: all | table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | ablations")
+		scale    = flag.Float64("scale", 0.1, "workload scale factor (0,1]")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		outDir   = flag.String("out", "", "also write each experiment's output under this directory")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign worker-pool size (1 = sequential)")
+		cache    = flag.Int("cache", 512, "campaign result-cache capacity in points (0 disables)")
+		progress = flag.Bool("progress", false, "report campaign progress on stderr")
 	)
 	flag.Parse()
 
-	runner := &runner{scale: *scale, seed: *seed, outDir: *outDir}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	engine := sdpolicy.NewEngine(*workers, *cache)
+	if *progress {
+		engine.OnProgress(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsdexp: %d/%d points", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		})
+	}
+	runner := &runner{ctx: ctx, engine: engine, scale: *scale, seed: *seed, outDir: *outDir}
 	if err := runner.run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "sdexp:", err)
 		os.Exit(1)
@@ -47,6 +66,8 @@ func main() {
 }
 
 type runner struct {
+	ctx    context.Context
+	engine *sdpolicy.Engine
 	scale  float64
 	seed   uint64
 	outDir string
@@ -113,7 +134,7 @@ func (r *runner) run(exp string) error {
 }
 
 func (r *runner) table1(w io.Writer) error {
-	rows, err := sdpolicy.Table1(r.scale, r.seed)
+	rows, err := r.engine.Table1(r.ctx, r.scale, r.seed)
 	if err != nil {
 		return err
 	}
@@ -141,7 +162,7 @@ func (r *runner) table2(w io.Writer) error {
 }
 
 func (r *runner) figs123(w io.Writer) error {
-	rows, err := sdpolicy.SweepMaxSD([]string{"wl1", "wl2", "wl3", "wl4"}, r.scale, r.seed)
+	rows, err := r.engine.SweepMaxSD(r.ctx, []string{"wl1", "wl2", "wl3", "wl4"}, r.scale, r.seed)
 	if err != nil {
 		return err
 	}
@@ -174,7 +195,7 @@ func (r *runner) figs123(w io.Writer) error {
 }
 
 func (r *runner) figs456(w io.Writer) error {
-	an, err := sdpolicy.AnalyzeBigWorkload(r.scale, r.seed)
+	an, err := r.engine.AnalyzeBigWorkload(r.ctx, r.scale, r.seed)
 	if err != nil {
 		return err
 	}
@@ -194,7 +215,7 @@ func printHeatmap(w io.Writer, title string, cells [][]float64) {
 }
 
 func (r *runner) fig7(w io.Writer) error {
-	an, err := sdpolicy.AnalyzeBigWorkload(r.scale, r.seed)
+	an, err := r.engine.AnalyzeBigWorkload(r.ctx, r.scale, r.seed)
 	if err != nil {
 		return err
 	}
@@ -234,7 +255,7 @@ func (r *runner) fig7(w io.Writer) error {
 }
 
 func (r *runner) fig8(w io.Writer) error {
-	rows, err := sdpolicy.CompareRuntimeModels([]string{"wl1", "wl2", "wl3", "wl4"}, r.scale, r.seed)
+	rows, err := r.engine.CompareRuntimeModels(r.ctx, []string{"wl1", "wl2", "wl3", "wl4"}, r.scale, r.seed)
 	if err != nil {
 		return err
 	}
@@ -248,7 +269,7 @@ func (r *runner) fig8(w io.Writer) error {
 }
 
 func (r *runner) fig9(w io.Writer) error {
-	rep, err := sdpolicy.RealRunExperiment(r.scale, r.seed)
+	rep, err := r.engine.RealRunExperiment(r.ctx, r.scale, r.seed)
 	if err != nil {
 		return err
 	}
@@ -264,27 +285,27 @@ func (r *runner) fig9(w io.Writer) error {
 
 func (r *runner) ablations(w io.Writer) error {
 	var all []sdpolicy.AblationRow
-	sf, err := sdpolicy.AblateSharingFactor("wl1", r.scale, r.seed, []float64{0.25, 0.5, 0.75})
+	sf, err := r.engine.AblateSharingFactor(r.ctx, "wl1", r.scale, r.seed, []float64{0.25, 0.5, 0.75})
 	if err != nil {
 		return err
 	}
 	all = append(all, sf...)
-	mm, err := sdpolicy.AblateMaxMates("wl1", r.scale, r.seed, []int{1, 2, 3, 4})
+	mm, err := r.engine.AblateMaxMates(r.ctx, "wl1", r.scale, r.seed, []int{1, 2, 3, 4})
 	if err != nil {
 		return err
 	}
 	all = append(all, mm...)
-	mf, err := sdpolicy.AblateMalleableFraction("wl1", r.scale, r.seed, []float64{0, 0.25, 0.5, 0.75, 1})
+	mf, err := r.engine.AblateMalleableFraction(r.ctx, "wl1", r.scale, r.seed, []float64{0, 0.25, 0.5, 0.75, 1})
 	if err != nil {
 		return err
 	}
 	all = append(all, mf...)
-	fn, err := sdpolicy.AblateFreeNodeMixing("wl1", r.scale, r.seed)
+	fn, err := r.engine.AblateFreeNodeMixing(r.ctx, "wl1", r.scale, r.seed)
 	if err != nil {
 		return err
 	}
 	all = append(all, fn...)
-	pc, err := sdpolicy.ComparePolicies("wl1", r.scale, r.seed)
+	pc, err := r.engine.ComparePolicies(r.ctx, "wl1", r.scale, r.seed)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,78 @@
+// Command sdserve exposes the sdpolicy campaign engine over HTTP — the
+// serving layer for interactive exploration of scheduling scenarios
+// without recompiling or re-running cmd/sdexp.
+//
+//	sdserve -addr :8080 -workers 8 -cache 512 -max-inflight 32
+//
+// Endpoints (JSON in/out, see internal/serve):
+//
+//	POST /v1/simulate  {"workload":"wl1","scale":0.1,"seed":1,
+//	                    "options":{"policy":"sd","max_slowdown":10}}
+//	POST /v1/sweep     {"workloads":["wl1","wl2"],"scale":0.1,"seed":1}
+//	GET  /healthz
+//
+// All requests share one engine: identical in-flight requests coalesce
+// into a single simulation, repeated points are served from the LRU
+// result cache, and -max-inflight bounds concurrently simulating
+// requests. SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"sdpolicy"
+	"sdpolicy/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker-pool size")
+		cache    = flag.Int("cache", 512, "result cache capacity in campaign points (0 disables)")
+		inflight = flag.Int("max-inflight", 32, "max concurrently simulating requests")
+		grace    = flag.Duration("grace", 30*time.Second, "shutdown grace period")
+	)
+	flag.Parse()
+
+	engine := sdpolicy.NewEngine(*workers, *cache)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.New(engine, *inflight).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "sdserve: listening on %s (%d workers, cache %d, max in-flight %d)\n",
+		*addr, *workers, *cache, *inflight)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "sdserve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "sdserve: shutting down, draining in-flight requests")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "sdserve: shutdown:", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "sdserve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,6 +1,7 @@
 package sdpolicy
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -28,33 +29,44 @@ func MaxSDVariants() []Variant {
 // to the static backfill baseline of the same workload: 1.0 means equal,
 // below 1.0 means the SD configuration improved the metric.
 type SweepRow struct {
-	Workload        string
-	Variant         string
-	Makespan        float64
-	AvgResponse     float64
-	AvgSlowdown     float64
-	MalleableStarts int
+	Workload        string  `json:"workload"`
+	Variant         string  `json:"variant"`
+	Makespan        float64 `json:"makespan"`
+	AvgResponse     float64 `json:"avg_response"`
+	AvgSlowdown     float64 `json:"avg_slowdown"`
+	MalleableStarts int     `json:"malleable_starts"`
+}
+
+// SweepMaxSD regenerates Figures 1-3 on the Default engine.
+func SweepMaxSD(workloads []string, scale float64, seed uint64) ([]SweepRow, error) {
+	return Default().SweepMaxSD(context.Background(), workloads, scale, seed)
 }
 
 // SweepMaxSD regenerates Figures 1-3: for each workload, the static
 // baseline and every MAX_SLOWDOWN variant, reporting normalised
-// makespan, response and slowdown.
-func SweepMaxSD(workloads []string, scale float64, seed uint64) ([]SweepRow, error) {
-	var rows []SweepRow
+// makespan, response and slowdown. The campaign — one static baseline
+// plus len(MaxSDVariants()) points per workload — runs across the
+// engine's worker pool; each workload's baseline simulates once and is
+// shared by its variant rows through the campaign cache.
+func (e *Engine) SweepMaxSD(ctx context.Context, workloads []string, scale float64, seed uint64) ([]SweepRow, error) {
+	variants := MaxSDVariants()
+	stride := 1 + len(variants) // baseline + variants per workload
+	var points []Point
 	for _, name := range workloads {
-		w, err := NewWorkload(name, scale, seed)
-		if err != nil {
-			return nil, err
+		points = append(points, NewPoint(name, scale, seed, Options{Policy: "static"}))
+		for _, v := range variants {
+			points = append(points, NewPoint(name, scale, seed, v.Options))
 		}
-		base, err := Simulate(w, Options{Policy: "static"})
-		if err != nil {
-			return nil, fmt.Errorf("%s static: %w", name, err)
-		}
-		for _, v := range MaxSDVariants() {
-			res, err := Simulate(w, v.Options)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s: %w", name, v.Label, err)
-			}
+	}
+	results, err := e.Run(ctx, points)
+	if err != nil {
+		return nil, err
+	}
+	var rows []SweepRow
+	for wi, name := range workloads {
+		base := results[wi*stride]
+		for vi, v := range variants {
+			res := results[wi*stride+1+vi]
 			rows = append(rows, SweepRow{
 				Workload:        name,
 				Variant:         v.Label,
@@ -78,24 +90,32 @@ type ModelRow struct {
 	AvgSlowdown float64
 }
 
+// CompareRuntimeModels regenerates Figure 8 on the Default engine.
+func CompareRuntimeModels(workloads []string, scale float64, seed uint64) ([]ModelRow, error) {
+	return Default().CompareRuntimeModels(context.Background(), workloads, scale, seed)
+}
+
 // CompareRuntimeModels regenerates Figure 8: SD-Policy with the dynamic
 // cut-off under the ideal and the worst-case runtime models.
-func CompareRuntimeModels(workloads []string, scale float64, seed uint64) ([]ModelRow, error) {
-	var rows []ModelRow
+func (e *Engine) CompareRuntimeModels(ctx context.Context, workloads []string, scale float64, seed uint64) ([]ModelRow, error) {
+	models := []string{"ideal", "worst"}
+	var points []Point
 	for _, name := range workloads {
-		w, err := NewWorkload(name, scale, seed)
-		if err != nil {
-			return nil, err
+		for _, mdl := range models {
+			points = append(points, NewPoint(name, scale, seed, Options{Policy: "static", Model: mdl}))
+			points = append(points, NewPoint(name, scale, seed, Options{Policy: "sd", DynamicCutoff: "avg", Model: mdl}))
 		}
-		for _, mdl := range []string{"ideal", "worst"} {
-			base, err := Simulate(w, Options{Policy: "static", Model: mdl})
-			if err != nil {
-				return nil, err
-			}
-			res, err := Simulate(w, Options{Policy: "sd", DynamicCutoff: "avg", Model: mdl})
-			if err != nil {
-				return nil, err
-			}
+	}
+	results, err := e.Run(ctx, points)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ModelRow
+	i := 0
+	for _, name := range workloads {
+		for _, mdl := range models {
+			base, res := results[i], results[i+1]
+			i += 2
 			rows = append(rows, ModelRow{
 				Workload:    name,
 				Model:       mdl,
@@ -124,21 +144,24 @@ type BigAnalysis struct {
 	SDDaily     []DayPoint
 }
 
-// AnalyzeBigWorkload regenerates Figures 4-7 on the wl4 Curie-like
-// workload with the paper's best static cut-off (MAXSD 10).
+// AnalyzeBigWorkload regenerates Figures 4-7 on the Default engine.
 func AnalyzeBigWorkload(scale float64, seed uint64) (*BigAnalysis, error) {
-	w, err := NewWorkload("wl4", scale, seed)
+	return Default().AnalyzeBigWorkload(context.Background(), scale, seed)
+}
+
+// AnalyzeBigWorkload regenerates Figures 4-7 on the wl4 Curie-like
+// workload with the paper's best static cut-off (MAXSD 10). The two
+// runs execute concurrently and are shared with any other campaign
+// touching the same points (e.g. fig7 after fig4-6 is all cache hits).
+func (e *Engine) AnalyzeBigWorkload(ctx context.Context, scale float64, seed uint64) (*BigAnalysis, error) {
+	results, err := e.Run(ctx, []Point{
+		NewPoint("wl4", scale, seed, Options{Policy: "static"}),
+		NewPoint("wl4", scale, seed, Options{Policy: "sd", MaxSlowdown: 10}),
+	})
 	if err != nil {
 		return nil, err
 	}
-	static, err := Simulate(w, Options{Policy: "static"})
-	if err != nil {
-		return nil, err
-	}
-	sd, err := Simulate(w, Options{Policy: "sd", MaxSlowdown: 10})
-	if err != nil {
-		return nil, err
-	}
+	static, sd := results[0], results[1]
 	return &BigAnalysis{
 		Static:        static,
 		SD:            sd,
@@ -162,21 +185,22 @@ type RealRunReport struct {
 	EnergyPct      float64
 }
 
+// RealRunExperiment regenerates Figure 9 on the Default engine.
+func RealRunExperiment(scale float64, seed uint64) (*RealRunReport, error) {
+	return Default().RealRunExperiment(context.Background(), scale, seed)
+}
+
 // RealRunExperiment regenerates Figure 9: the wl5 application mix under
 // the contention-aware App runtime model, static vs SD-Policy.
-func RealRunExperiment(scale float64, seed uint64) (*RealRunReport, error) {
-	w, err := NewWorkload("wl5", scale, seed)
+func (e *Engine) RealRunExperiment(ctx context.Context, scale float64, seed uint64) (*RealRunReport, error) {
+	results, err := e.Run(ctx, []Point{
+		NewPoint("wl5", scale, seed, Options{Policy: "static", Model: "app"}),
+		NewPoint("wl5", scale, seed, Options{Policy: "sd", DynamicCutoff: "avg", Model: "app"}),
+	})
 	if err != nil {
 		return nil, err
 	}
-	static, err := Simulate(w, Options{Policy: "static", Model: "app"})
-	if err != nil {
-		return nil, err
-	}
-	sd, err := Simulate(w, Options{Policy: "sd", DynamicCutoff: "avg", Model: "app"})
-	if err != nil {
-		return nil, err
-	}
+	static, sd := results[0], results[1]
 	return &RealRunReport{
 		Static:         static,
 		SD:             sd,
@@ -201,20 +225,32 @@ type Table1Row struct {
 	Makespan    int64
 }
 
-// Table1 regenerates the Table 1 inventory by building every preset and
-// measuring its static-backfill baseline.
+// Table1 regenerates the Table 1 inventory on the Default engine.
 func Table1(scale float64, seed uint64) ([]Table1Row, error) {
+	return Default().Table1(context.Background(), scale, seed)
+}
+
+// Table1 regenerates the Table 1 inventory by building every preset and
+// measuring its static-backfill baseline; the five baselines simulate
+// concurrently and seed the cache for every later experiment that
+// normalises against them.
+func (e *Engine) Table1(ctx context.Context, scale float64, seed uint64) ([]Table1Row, error) {
 	names := []string{"wl1", "wl2", "wl3", "wl4", "wl5"}
+	points := make([]Point, len(names))
+	for i, name := range names {
+		points[i] = NewPoint(name, scale, seed, Options{Policy: "static"})
+	}
+	results, err := e.Run(ctx, points)
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]Table1Row, 0, len(names))
-	for _, name := range names {
+	for i, name := range names {
 		w, err := NewWorkload(name, scale, seed)
 		if err != nil {
 			return nil, err
 		}
-		res, err := Simulate(w, Options{Policy: "static"})
-		if err != nil {
-			return nil, err
-		}
+		res := results[i]
 		rows = append(rows, Table1Row{
 			ID: name, Name: w.Name(), Jobs: w.Jobs(),
 			Nodes: w.Nodes(), Cores: w.Cores(), MaxJobNodes: w.MaxJobNodes(),
@@ -232,7 +268,8 @@ type Table2Row struct {
 }
 
 // Table2 regenerates the Table 2 application mix from the generated wl5
-// workload.
+// workload. It only generates the workload — no simulation — so it does
+// not go through the campaign engine.
 func Table2(scale float64, seed uint64) ([]Table2Row, error) {
 	w, err := NewWorkload("wl5", scale, seed)
 	if err != nil {
@@ -256,124 +293,116 @@ type AblationRow struct {
 	Makespan    float64
 }
 
-// AblateSharingFactor sweeps the SharingFactor (Section 3.3) on the
-// given workload.
-func AblateSharingFactor(name string, scale float64, seed uint64, factors []float64) ([]AblationRow, error) {
-	w, err := NewWorkload(name, scale, seed)
+// ablate runs the static baseline plus every variant point of one
+// ablation campaign and normalises each variant against the baseline.
+// The baseline point is canonically identical across all ablations of
+// the same workload, so it simulates once per engine, not once per
+// sweep.
+func (e *Engine) ablate(ctx context.Context, param string, name string, scale float64, seed uint64, values []string, variant func(i int) Point) ([]AblationRow, error) {
+	points := []Point{NewPoint(name, scale, seed, Options{Policy: "static"})}
+	for i := range values {
+		points = append(points, variant(i))
+	}
+	results, err := e.Run(ctx, points)
 	if err != nil {
 		return nil, err
 	}
-	base, err := Simulate(w, Options{Policy: "static"})
-	if err != nil {
-		return nil, err
-	}
+	base := results[0]
 	var rows []AblationRow
-	for _, sf := range factors {
-		res, err := Simulate(w, Options{Policy: "sd", SharingFactor: sf})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, ablation("sharing-factor", fmt.Sprintf("%.2f", sf), res, base))
+	for i, v := range values {
+		rows = append(rows, ablation(param, v, results[i+1], base))
 	}
 	return rows, nil
 }
 
+// AblateSharingFactor sweeps the SharingFactor on the Default engine.
+func AblateSharingFactor(name string, scale float64, seed uint64, factors []float64) ([]AblationRow, error) {
+	return Default().AblateSharingFactor(context.Background(), name, scale, seed, factors)
+}
+
+// AblateSharingFactor sweeps the SharingFactor (Section 3.3) on the
+// given workload.
+func (e *Engine) AblateSharingFactor(ctx context.Context, name string, scale float64, seed uint64, factors []float64) ([]AblationRow, error) {
+	values := make([]string, len(factors))
+	for i, sf := range factors {
+		values[i] = fmt.Sprintf("%.2f", sf)
+	}
+	return e.ablate(ctx, "sharing-factor", name, scale, seed, values, func(i int) Point {
+		return NewPoint(name, scale, seed, Options{Policy: "sd", SharingFactor: factors[i]})
+	})
+}
+
+// AblateMaxMates sweeps the mate combination bound on the Default engine.
+func AblateMaxMates(name string, scale float64, seed uint64, ms []int) ([]AblationRow, error) {
+	return Default().AblateMaxMates(context.Background(), name, scale, seed, ms)
+}
+
 // AblateMaxMates sweeps m, the mate combination bound (Section 3.2.4:
 // "we did not see improvements ... increasing m over two").
-func AblateMaxMates(name string, scale float64, seed uint64, ms []int) ([]AblationRow, error) {
-	w, err := NewWorkload(name, scale, seed)
-	if err != nil {
-		return nil, err
+func (e *Engine) AblateMaxMates(ctx context.Context, name string, scale float64, seed uint64, ms []int) ([]AblationRow, error) {
+	values := make([]string, len(ms))
+	for i, m := range ms {
+		values[i] = fmt.Sprintf("%d", m)
 	}
-	base, err := Simulate(w, Options{Policy: "static"})
-	if err != nil {
-		return nil, err
-	}
-	var rows []AblationRow
-	for _, m := range ms {
-		res, err := Simulate(w, Options{Policy: "sd", MaxMates: m})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, ablation("max-mates", fmt.Sprintf("%d", m), res, base))
-	}
-	return rows, nil
+	return e.ablate(ctx, "max-mates", name, scale, seed, values, func(i int) Point {
+		return NewPoint(name, scale, seed, Options{Policy: "sd", MaxMates: ms[i]})
+	})
+}
+
+// AblateMalleableFraction sweeps the malleable share on the Default engine.
+func AblateMalleableFraction(name string, scale float64, seed uint64, fracs []float64) ([]AblationRow, error) {
+	return Default().AblateMalleableFraction(context.Background(), name, scale, seed, fracs)
 }
 
 // AblateMalleableFraction sweeps the malleable share of a mixed
 // rigid/malleable workload (Section 1: SD-Policy "supports mixed
 // workloads ... ideal for being used in transition").
-func AblateMalleableFraction(name string, scale float64, seed uint64, fracs []float64) ([]AblationRow, error) {
-	base, err := func() (*Result, error) {
-		w, err := NewWorkload(name, scale, seed)
-		if err != nil {
-			return nil, err
-		}
-		return Simulate(w, Options{Policy: "static"})
-	}()
-	if err != nil {
-		return nil, err
+func (e *Engine) AblateMalleableFraction(ctx context.Context, name string, scale float64, seed uint64, fracs []float64) ([]AblationRow, error) {
+	values := make([]string, len(fracs))
+	for i, f := range fracs {
+		values[i] = fmt.Sprintf("%.2f", f)
 	}
-	var rows []AblationRow
-	for _, f := range fracs {
-		w, err := NewWorkload(name, scale, seed)
-		if err != nil {
-			return nil, err
-		}
-		w.SetMalleableFraction(f)
-		res, err := Simulate(w, Options{Policy: "sd"})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, ablation("malleable-fraction", fmt.Sprintf("%.2f", f), res, base))
-	}
-	return rows, nil
+	return e.ablate(ctx, "malleable-fraction", name, scale, seed, values, func(i int) Point {
+		p := NewPoint(name, scale, seed, Options{Policy: "sd"})
+		p.MalleableFraction = fracs[i]
+		return p
+	})
+}
+
+// ComparePolicies compares the three policies on the Default engine.
+func ComparePolicies(name string, scale float64, seed uint64) ([]AblationRow, error) {
+	return Default().ComparePolicies(context.Background(), name, scale, seed)
 }
 
 // ComparePolicies runs static backfill, non-adaptive oversubscription
 // and SD-Policy on the same workload — the §1/§5 motivation that
 // malleability beats blind resource sharing. Values are normalised to
-// static backfill.
-func ComparePolicies(name string, scale float64, seed uint64) ([]AblationRow, error) {
-	w, err := NewWorkload(name, scale, seed)
-	if err != nil {
-		return nil, err
-	}
-	base, err := Simulate(w, Options{Policy: "static"})
-	if err != nil {
-		return nil, err
-	}
-	var rows []AblationRow
-	for _, p := range []string{"static", "oversubscribe", "sd"} {
-		res, err := Simulate(w, Options{Policy: p})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, ablation("policy", p, res, base))
-	}
-	return rows, nil
+// static backfill; the static row doubles as the baseline and
+// simulates only once thanks to point canonicalisation.
+func (e *Engine) ComparePolicies(ctx context.Context, name string, scale float64, seed uint64) ([]AblationRow, error) {
+	policies := []string{"static", "oversubscribe", "sd"}
+	return e.ablate(ctx, "policy", name, scale, seed, policies, func(i int) Point {
+		return NewPoint(name, scale, seed, Options{Policy: policies[i]})
+	})
+}
+
+// AblateFreeNodeMixing compares mate selection with and without free
+// nodes on the Default engine.
+func AblateFreeNodeMixing(name string, scale float64, seed uint64) ([]AblationRow, error) {
+	return Default().AblateFreeNodeMixing(context.Background(), name, scale, seed)
 }
 
 // AblateFreeNodeMixing compares mate selection with and without the
 // IncludeFreeNodes option (Section 3.2.4).
-func AblateFreeNodeMixing(name string, scale float64, seed uint64) ([]AblationRow, error) {
-	w, err := NewWorkload(name, scale, seed)
-	if err != nil {
-		return nil, err
+func (e *Engine) AblateFreeNodeMixing(ctx context.Context, name string, scale float64, seed uint64) ([]AblationRow, error) {
+	mixes := []bool{false, true}
+	values := make([]string, len(mixes))
+	for i, mix := range mixes {
+		values[i] = fmt.Sprintf("%v", mix)
 	}
-	base, err := Simulate(w, Options{Policy: "static"})
-	if err != nil {
-		return nil, err
-	}
-	var rows []AblationRow
-	for _, mix := range []bool{false, true} {
-		res, err := Simulate(w, Options{Policy: "sd", IncludeFreeNodes: mix})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, ablation("free-node-mixing", fmt.Sprintf("%v", mix), res, base))
-	}
-	return rows, nil
+	return e.ablate(ctx, "free-node-mixing", name, scale, seed, values, func(i int) Point {
+		return NewPoint(name, scale, seed, Options{Policy: "sd", IncludeFreeNodes: mixes[i]})
+	})
 }
 
 func ablation(param, value string, res, base *Result) AblationRow {

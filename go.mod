@@ -1,0 +1,3 @@
+module sdpolicy
+
+go 1.24

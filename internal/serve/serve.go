@@ -1,0 +1,225 @@
+// Package serve implements the sdserve HTTP API: a thin, cache-backed
+// front-end over the sdpolicy campaign engine. Handlers are plain
+// net/http so cmd/sdserve stays a wiring-only main and tests can drive
+// the full API through httptest.
+//
+// Endpoints:
+//
+//	POST /v1/simulate  one simulation point  -> the full Result
+//	POST /v1/sweep     Figures 1-3 campaign  -> normalised SweepRows
+//	GET  /healthz      liveness + cache and pool statistics
+//
+// Every simulation goes through one shared Engine, so concurrent
+// requests for the same canonical point coalesce into a single run and
+// repeated requests are served from the result cache. A semaphore
+// bounds the number of requests simulating at once; excess requests
+// queue until a slot frees or the client gives up while still waiting.
+// Note that a request already holding a slot keeps it until its
+// simulation finishes even if the client disconnects — the simulator
+// has no mid-run cancellation checkpoints yet (see ROADMAP).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"sdpolicy"
+)
+
+// Server handles the sdserve API on top of a shared campaign engine.
+type Server struct {
+	engine *sdpolicy.Engine
+	// slots bounds in-flight simulating requests (not connections):
+	// acquire to simulate, release when done.
+	slots chan struct{}
+}
+
+// New builds a Server over the engine, allowing at most maxInflight
+// requests to simulate concurrently (<= 0 means 16).
+func New(engine *sdpolicy.Engine, maxInflight int) *Server {
+	if maxInflight <= 0 {
+		maxInflight = 16
+	}
+	return &Server{engine: engine, slots: make(chan struct{}, maxInflight)}
+}
+
+// Handler returns the routed API handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+// SimulateRequest is the /v1/simulate body. Scale and Seed default to
+// 1; Options defaults to the static baseline under the ideal model.
+type SimulateRequest struct {
+	Workload string           `json:"workload"`
+	Scale    float64          `json:"scale"`
+	Seed     uint64           `json:"seed"`
+	Options  sdpolicy.Options `json:"options"`
+	// MalleableFraction, when non-nil, re-flags that fraction of jobs
+	// malleable before simulating.
+	MalleableFraction *float64 `json:"malleable_fraction,omitempty"`
+}
+
+// SweepRequest is the /v1/sweep body: the Figures 1-3 campaign over the
+// given workloads. Scale and Seed default to 1.
+type SweepRequest struct {
+	Workloads []string `json:"workloads"`
+	Scale     float64  `json:"scale"`
+	Seed      uint64   `json:"seed"`
+}
+
+// SweepResponse is the /v1/sweep reply.
+type SweepResponse struct {
+	Rows []sdpolicy.SweepRow `json:"rows"`
+}
+
+// Health is the /healthz reply.
+type Health struct {
+	Status      string `json:"status"`
+	Workers     int    `json:"workers"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Workload == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing workload"))
+		return
+	}
+	applyDefaults(&req.Scale, &req.Seed)
+	p := sdpolicy.NewPoint(req.Workload, req.Scale, req.Seed, req.Options)
+	if req.MalleableFraction != nil {
+		f := *req.MalleableFraction
+		if !(f >= 0 && f <= 1) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("malleable_fraction %v out of [0,1]", f))
+			return
+		}
+		p.MalleableFraction = f
+	}
+	if !s.acquire(w, r.Context()) {
+		return
+	}
+	defer s.release()
+	res, err := s.engine.SimulatePoint(r.Context(), p)
+	if err != nil {
+		writeError(w, statusFor(r.Context(), err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Workloads) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("missing workloads"))
+		return
+	}
+	applyDefaults(&req.Scale, &req.Seed)
+	if !s.acquire(w, r.Context()) {
+		return
+	}
+	defer s.release()
+	rows, err := s.engine.SweepMaxSD(r.Context(), req.Workloads, req.Scale, req.Seed)
+	if err != nil {
+		writeError(w, statusFor(r.Context(), err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SweepResponse{Rows: rows})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	hits, misses := s.engine.CacheStats()
+	writeJSON(w, http.StatusOK, Health{
+		Status:      "ok",
+		Workers:     s.engine.Workers(),
+		CacheHits:   hits,
+		CacheMisses: misses,
+	})
+}
+
+// decode enforces POST + JSON and fills dst, replying on failure.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// acquire takes a simulation slot, waiting until one frees or the
+// client disconnects. It replies and returns false on failure.
+func (s *Server) acquire(w http.ResponseWriter, ctx context.Context) bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		writeError(w, http.StatusServiceUnavailable, errors.New("cancelled while waiting for a simulation slot"))
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.slots }
+
+// statusFor maps a campaign error to an HTTP status: client
+// cancellation to 503, invalid inputs (unknown workload, policy,
+// model, out-of-range parameters — anything tagged ErrBadInput) to
+// 400.
+func statusFor(ctx context.Context, err error) int {
+	if ctx.Err() != nil {
+		return http.StatusServiceUnavailable
+	}
+	if errors.Is(err, sdpolicy.ErrBadInput) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func applyDefaults(scale *float64, seed *uint64) {
+	if *scale == 0 {
+		*scale = 1
+	}
+	if *seed == 0 {
+		*seed = 1
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}

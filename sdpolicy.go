@@ -12,9 +12,34 @@
 //	static, _ := sdpolicy.Simulate(w, sdpolicy.Options{Policy: "static"})
 //	sd, _ := sdpolicy.Simulate(w, sdpolicy.Options{Policy: "sd", MaxSlowdown: 10})
 //	fmt.Println(static.AvgSlowdown, "->", sd.AvgSlowdown)
+//
+// # Campaigns
+//
+// Experiment campaigns — cross products of workloads, scheduler
+// variants, seeds and scales — run through an Engine: a worker pool
+// that shards the campaign's Points across GOMAXPROCS (or a configured
+// number of) workers and memoises results in an LRU cache, so repeated
+// points such as the per-workload static baseline simulate exactly
+// once. Campaigns are deterministic: results come back in input order
+// and a parallel run is byte-identical to a sequential one.
+//
+//	engine := sdpolicy.NewEngine(8, 512)
+//	rows, err := engine.SweepMaxSD(ctx, []string{"wl1", "wl2"}, 0.1, 1)
+//
+// The package-level experiment functions (SweepMaxSD, Table1,
+// CompareRuntimeModels, the ablations, ...) delegate to a process-wide
+// Default engine; the Engine methods additionally accept a
+// context.Context for cancellation and report progress via OnProgress.
+// DeriveSeed expands one base seed into independent per-replicate
+// seeds for multi-seed campaigns.
+//
+// cmd/sdserve exposes the same engine over HTTP (POST /v1/simulate,
+// POST /v1/sweep), serving concurrent clients from one shared result
+// cache.
 package sdpolicy
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -29,6 +54,12 @@ import (
 	"sdpolicy/internal/workload"
 )
 
+// ErrBadInput marks errors caused by invalid caller input (unknown
+// preset, policy, model, or out-of-range parameters) as opposed to
+// internal simulation failures; test with errors.Is. The sdserve layer
+// maps it to HTTP 400.
+var ErrBadInput = errors.New("invalid input")
+
 // Workload is a machine description plus a job stream, ready to simulate.
 type Workload struct {
 	spec workload.Spec
@@ -40,11 +71,11 @@ type Workload struct {
 // generator.
 func NewWorkload(name string, scale float64, seed uint64) (Workload, error) {
 	if scale <= 0 || scale > 1 {
-		return Workload{}, fmt.Errorf("sdpolicy: scale %v out of (0,1]", scale)
+		return Workload{}, fmt.Errorf("sdpolicy: scale %v out of (0,1]: %w", scale, ErrBadInput)
 	}
 	spec, err := workload.ByName(name, scale, seed)
 	if err != nil {
-		return Workload{}, err
+		return Workload{}, fmt.Errorf("%w: %w", err, ErrBadInput)
 	}
 	return Workload{spec: spec}, nil
 }
@@ -148,33 +179,33 @@ func (w Workload) AppShares() map[string]float64 {
 type Options struct {
 	// Policy is "static" (default), "sd", or "oversubscribe" — the
 	// non-adaptive node-sharing baseline of the paper's related work.
-	Policy string
+	Policy string `json:"policy,omitempty"`
 	// MaxSlowdown is the static MAX_SLOWDOWN cut-off; 0 means infinite.
-	MaxSlowdown float64
+	MaxSlowdown float64 `json:"max_slowdown,omitempty"`
 	// DynamicCutoff selects feedback cut-offs: "" (static), "avg"
 	// (DynAVGSD), "median", or "p70".
-	DynamicCutoff string
+	DynamicCutoff string `json:"dynamic_cutoff,omitempty"`
 	// Model is "ideal" (default), "worst", or "app".
-	Model string
+	Model string `json:"model,omitempty"`
 	// SharingFactor defaults to 0.5 (one of two sockets).
-	SharingFactor float64
+	SharingFactor float64 `json:"sharing_factor,omitempty"`
 	// MaxMates defaults to 2.
-	MaxMates int
+	MaxMates int `json:"max_mates,omitempty"`
 	// CandidateCap defaults to 64.
-	CandidateCap int
+	CandidateCap int `json:"candidate_cap,omitempty"`
 	// BackfillDepth defaults to 100.
-	BackfillDepth int
+	BackfillDepth int `json:"backfill_depth,omitempty"`
 	// Backfill selects the reservation discipline: "conservative"
 	// (default — every examined waiting job holds a reservation) or
 	// "easy" (only the queue head does).
-	Backfill string
+	Backfill string `json:"backfill,omitempty"`
 	// IncludeFreeNodes enables mixing free nodes into mate selections.
-	IncludeFreeNodes bool
+	IncludeFreeNodes bool `json:"include_free_nodes,omitempty"`
 	// DROMOverhead is the simulated seconds per reconfiguration.
-	DROMOverhead int64
+	DROMOverhead int64 `json:"drom_overhead,omitempty"`
 	// OversubPenalty is the fractional throughput loss per shared job
 	// under the "oversubscribe" policy (default 0.15).
-	OversubPenalty float64
+	OversubPenalty float64 `json:"oversub_penalty,omitempty"`
 }
 
 func (o Options) toConfig() (sched.Config, error) {
@@ -191,7 +222,7 @@ func (o Options) toConfig() (sched.Config, error) {
 			cfg.OversubPenalty = o.OversubPenalty
 		}
 	default:
-		return cfg, fmt.Errorf("sdpolicy: unknown policy %q", o.Policy)
+		return cfg, fmt.Errorf("sdpolicy: unknown policy %q: %w", o.Policy, ErrBadInput)
 	}
 	if o.MaxSlowdown > 0 {
 		cfg.MaxSlowdown = o.MaxSlowdown
@@ -207,7 +238,7 @@ func (o Options) toConfig() (sched.Config, error) {
 	case "p70":
 		cfg.Cutoff = sched.CutoffDynP70
 	default:
-		return cfg, fmt.Errorf("sdpolicy: unknown dynamic cutoff %q", o.DynamicCutoff)
+		return cfg, fmt.Errorf("sdpolicy: unknown dynamic cutoff %q: %w", o.DynamicCutoff, ErrBadInput)
 	}
 	switch o.Model {
 	case "", "ideal":
@@ -218,7 +249,7 @@ func (o Options) toConfig() (sched.Config, error) {
 		cfg.RuntimeModel = model.App
 		cfg.Speedups = apps.SpeedupProvider
 	default:
-		return cfg, fmt.Errorf("sdpolicy: unknown model %q", o.Model)
+		return cfg, fmt.Errorf("sdpolicy: unknown model %q: %w", o.Model, ErrBadInput)
 	}
 	if o.SharingFactor > 0 {
 		cfg.SharingFactor = o.SharingFactor
@@ -238,7 +269,7 @@ func (o Options) toConfig() (sched.Config, error) {
 	case "easy":
 		cfg.ReservationDepth = 1
 	default:
-		return cfg, fmt.Errorf("sdpolicy: unknown backfill discipline %q", o.Backfill)
+		return cfg, fmt.Errorf("sdpolicy: unknown backfill discipline %q: %w", o.Backfill, ErrBadInput)
 	}
 	cfg.IncludeFreeNodes = o.IncludeFreeNodes
 	cfg.DROMOverhead = o.DROMOverhead
@@ -247,21 +278,21 @@ func (o Options) toConfig() (sched.Config, error) {
 
 // Result is the outcome of one simulation.
 type Result struct {
-	Workload    string
-	Policy      string
-	Jobs        int
-	Makespan    int64
-	AvgResponse float64
-	AvgWait     float64
-	AvgSlowdown float64
+	Workload    string  `json:"workload"`
+	Policy      string  `json:"policy"`
+	Jobs        int     `json:"jobs"`
+	Makespan    int64   `json:"makespan"`
+	AvgResponse float64 `json:"avg_response"`
+	AvgWait     float64 `json:"avg_wait"`
+	AvgSlowdown float64 `json:"avg_slowdown"`
 	// AvgBoundedSlowdown uses the customary 10-minute bound, damping the
 	// influence of sub-bound jobs (Feitelson's metric).
-	AvgBoundedSlowdown float64
+	AvgBoundedSlowdown float64 `json:"avg_bounded_slowdown"`
 	// P95Slowdown is the 95th percentile of per-job slowdowns.
-	P95Slowdown     float64
-	EnergyKWh       float64
-	MalleableStarts int
-	Mates           int
+	P95Slowdown     float64 `json:"p95_slowdown"`
+	EnergyKWh       float64 `json:"energy_kwh"`
+	MalleableStarts int     `json:"malleable_starts"`
+	Mates           int     `json:"mates"`
 
 	report metrics.Report
 }
