@@ -2,6 +2,7 @@ package sdpolicy
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 	"runtime"
@@ -15,19 +16,47 @@ import (
 // comparable values; two Points that canonicalise equally identify the
 // same simulation and share one cached result.
 type Point struct {
-	Workload string
-	Scale    float64
-	Seed     uint64
+	Workload string  `json:"workload"`
+	Scale    float64 `json:"scale"`
+	Seed     uint64  `json:"seed"`
 	// MalleableFraction, when in [0, 1], re-flags that fraction of jobs
 	// malleable before simulating (mixed-workload experiments). A
 	// negative value keeps the generated mix. NewPoint sets -1.
-	MalleableFraction float64
-	Options           Options
+	MalleableFraction float64 `json:"malleable_fraction"`
+	Options           Options `json:"options"`
 }
 
 // NewPoint builds a Point with the generated malleable mix kept as is.
 func NewPoint(workload string, scale float64, seed uint64, opt Options) Point {
 	return Point{Workload: workload, Scale: scale, Seed: seed, MalleableFraction: -1, Options: opt}
+}
+
+// MarshalJSON encodes the -1 keep-mix sentinel as an absent
+// malleable_fraction, so a streamed point is itself a valid PointSpec:
+// clients can resubmit any echoed point verbatim.
+func (p Point) MarshalJSON() ([]byte, error) {
+	w := PointSpec{Workload: p.Workload, Scale: p.Scale, Seed: p.Seed, Options: p.Options}
+	if p.MalleableFraction >= 0 {
+		w.MalleableFraction = &p.MalleableFraction
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON is MarshalJSON's inverse: an absent (or null)
+// malleable_fraction decodes to the -1 keep-mix sentinel rather than
+// to 0, which would silently mean "re-flag zero jobs malleable".
+// Scale and Seed are taken verbatim, without PointSpec's defaulting.
+func (p *Point) UnmarshalJSON(data []byte) error {
+	var s PointSpec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	p.Workload, p.Scale, p.Seed, p.Options = s.Workload, s.Scale, s.Seed, s.Options
+	p.MalleableFraction = -1
+	if s.MalleableFraction != nil {
+		p.MalleableFraction = *s.MalleableFraction
+	}
+	return nil
 }
 
 // validate rejects float fields that would corrupt the campaign's
@@ -100,6 +129,67 @@ func (o Options) canonical() Options {
 	return o
 }
 
+// PointSpec is the JSON wire form of a Point, shared by the sdserve
+// /v1/campaign endpoint and cmd/sdexp's -points mode. Scale and Seed
+// default to 1 when omitted; a nil MalleableFraction keeps the
+// generated malleable mix.
+type PointSpec struct {
+	Workload          string   `json:"workload"`
+	Scale             float64  `json:"scale,omitempty"`
+	Seed              uint64   `json:"seed,omitempty"`
+	MalleableFraction *float64 `json:"malleable_fraction,omitempty"`
+	Options           Options  `json:"options"`
+}
+
+// Validate rejects spec fields the wire layers must refuse before
+// Point() collapses them into the Point sentinel encodings: a missing
+// workload and an out-of-range MalleableFraction (a negative value
+// would otherwise silently mean "keep the generated mix"). Errors are
+// tagged ErrBadInput. Everything else — unknown workload, bad policy,
+// NaN floats — is rejected later by Engine.Run.
+func (s PointSpec) Validate() error {
+	if s.Workload == "" {
+		return fmt.Errorf("sdpolicy: point workload missing: %w", ErrBadInput)
+	}
+	if f := s.MalleableFraction; f != nil && !(*f >= 0 && *f <= 1) {
+		return fmt.Errorf("sdpolicy: malleable_fraction %v out of [0,1]: %w", *f, ErrBadInput)
+	}
+	return nil
+}
+
+// Point materialises the spec with its defaults applied. It performs no
+// validation — call Validate first for the wire-level checks; Engine.Run
+// rejects the remaining bad fields with ErrBadInput.
+func (s PointSpec) Point() Point {
+	scale, seed := s.Scale, s.Seed
+	if scale == 0 {
+		scale = 1
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	p := NewPoint(s.Workload, scale, seed, s.Options)
+	if s.MalleableFraction != nil {
+		p.MalleableFraction = *s.MalleableFraction
+	}
+	return p
+}
+
+// PointsFromSpecs runs the wire-level checks (Validate) on every spec
+// and materialises the campaign points, labelling errors with the
+// offending index. It is the one conversion path shared by the
+// /v1/campaign handler and cmd/sdexp -points.
+func PointsFromSpecs(specs []PointSpec) ([]Point, error) {
+	points := make([]Point, len(specs))
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("point %d: %w", i, err)
+		}
+		points[i] = s.Point()
+	}
+	return points, nil
+}
+
 // DeriveSeed deterministically expands a base seed into independent
 // per-replicate seeds; replicate 0 returns the base seed itself so a
 // one-replicate campaign matches a direct run.
@@ -124,7 +214,7 @@ type Engine struct {
 func NewEngine(workers, cacheSize int) *Engine {
 	e := &Engine{}
 	e.runner = campaign.New(func(ctx context.Context, p Point) (*Result, error) {
-		res, err := simulatePoint(p)
+		res, err := simulatePoint(ctx, p)
 		if err != nil {
 			return nil, fmt.Errorf("%s (scale %g, seed %d, %s): %w",
 				p.Workload, p.Scale, p.Seed, p.Options.Policy, err)
@@ -134,7 +224,7 @@ func NewEngine(workers, cacheSize int) *Engine {
 	return e
 }
 
-func simulatePoint(p Point) (*Result, error) {
+func simulatePoint(ctx context.Context, p Point) (*Result, error) {
 	// Reject out-of-range fractions (including NaN) here rather than
 	// letting SetMalleableFraction panic inside a worker goroutine.
 	// canonical() collapses every negative to the -1 "keep mix" sentinel.
@@ -148,7 +238,7 @@ func simulatePoint(p Point) (*Result, error) {
 	if p.MalleableFraction >= 0 {
 		w.SetMalleableFraction(p.MalleableFraction)
 	}
-	return Simulate(w, p.Options)
+	return SimulateContext(ctx, w, p.Options)
 }
 
 var (
@@ -168,17 +258,77 @@ func Default() *Engine {
 // Run resolves every point in parallel and returns results aligned
 // with points: results[i] belongs to points[i]. Duplicate points (after
 // canonicalisation) simulate once. The first simulation error cancels
-// the remaining work; ctx cancellation aborts the campaign between
-// tasks.
+// the remaining work; ctx cancellation aborts the campaign — including
+// any simulation already in flight, which stops at its next event-loop
+// checkpoint.
 func (e *Engine) Run(ctx context.Context, points []Point) ([]*Result, error) {
+	return e.RunStream(ctx, points, nil)
+}
+
+// PointResult is one streamed campaign delivery: the result for
+// points[Index] as passed to RunStream, echoed back with the original
+// (pre-canonicalisation) point so clients can label rows without
+// keeping their own index.
+type PointResult struct {
+	Index  int     `json:"index"`
+	Point  Point   `json:"point"`
+	Result *Result `json:"result"`
+}
+
+// RunStream resolves points like Run while additionally delivering each
+// point's result on updates (when non-nil) the moment it is simulated
+// or served from cache, in completion order. The final returned slice
+// is byte-identical to Run's for the same input, so streaming costs no
+// determinism: consumers render incrementally and merge from the
+// returned slice. RunStream closes updates before returning. A consumer
+// that stops draining updates must cancel ctx to release the campaign's
+// workers.
+func (e *Engine) RunStream(ctx context.Context, points []Point, updates chan<- PointResult) ([]*Result, error) {
 	keys := make([]Point, len(points))
 	for i, p := range points {
 		if err := p.validate(); err != nil {
+			if updates != nil {
+				close(updates)
+			}
 			return nil, err
 		}
 		keys[i] = p.canonical()
 	}
-	return e.runner.Run(ctx, keys)
+	if updates == nil {
+		return e.runner.Run(ctx, keys)
+	}
+	// Bridge the runner's generic updates to PointResults carrying the
+	// caller's original points. The forwarder owns closing updates;
+	// waiting on forwarded guarantees that happens before we return.
+	// inner is buffered for the whole campaign so worker sends never
+	// block, and the forwarder tries a non-blocking send first: a
+	// completed result is only dropped when the consumer's buffer is
+	// full AND the context is cancelled, never by the cancellation
+	// race alone.
+	inner := make(chan campaign.Update[Point, *Result], len(points))
+	forwarded := make(chan struct{})
+	go func() {
+		defer close(forwarded)
+		defer close(updates)
+		for u := range inner {
+			pr := PointResult{Index: u.Index, Point: points[u.Index], Result: u.Value}
+			select {
+			case updates <- pr:
+				continue
+			default:
+			}
+			select {
+			case updates <- pr:
+			case <-ctx.Done():
+				// The consumer is gone; workers blocked on inner also
+				// select ctx.Done, so abandoning the drain is safe.
+				return
+			}
+		}
+	}()
+	results, err := e.runner.RunStream(ctx, keys, inner)
+	<-forwarded
+	return results, err
 }
 
 // SimulatePoint resolves one point through the engine's cache.

@@ -14,10 +14,21 @@
 // The default -scale 0.1 keeps the full suite in the minutes range;
 // -scale 1 reproduces the paper's full workload sizes (wl4 alone then
 // simulates 198509 jobs and takes correspondingly long).
+//
+// -points file.json bypasses the experiment index and streams an
+// arbitrary campaign — a JSON array of {workload, scale, seed,
+// malleable_fraction, options} points, the same wire format as the
+// sdserve /v1/campaign endpoint — as NDJSON on stdout, one line per
+// point in input order, emitted incrementally as points complete.
+// -progress adds point-level progress on stderr; Ctrl-C aborts the
+// campaign mid-simulation.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +54,7 @@ func main() {
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign worker-pool size (1 = sequential)")
 		cache    = flag.Int("cache", 512, "campaign result-cache capacity in points (0 disables)")
 		progress = flag.Bool("progress", false, "report campaign progress on stderr")
+		points   = flag.String("points", "", "JSON file holding an array of campaign points; streams NDJSON results to stdout instead of running -exp")
 	)
 	flag.Parse()
 
@@ -59,10 +71,72 @@ func main() {
 		})
 	}
 	runner := &runner{ctx: ctx, engine: engine, scale: *scale, seed: *seed, outDir: *outDir}
-	if err := runner.run(*exp); err != nil {
+	var err error
+	if *points != "" {
+		err = runner.runPoints(*points)
+	} else {
+		err = runner.run(*exp)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdexp:", err)
 		os.Exit(1)
 	}
+}
+
+// runPoints streams an arbitrary campaign — the same format the
+// sdserve /v1/campaign endpoint accepts — writing one NDJSON line per
+// point to stdout. Results are printed in input order but emitted
+// incrementally: each line appears as soon as its point and every
+// earlier one has completed, so the output is byte-identical across
+// worker counts (the CI determinism gate diffs two runs) while a
+// consumer still sees the sweep grow point by point.
+func (r *runner) runPoints(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var specs []sdpolicy.PointSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&specs); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	// Reject trailing data (a second concatenated array, say) rather
+	// than silently running a subset of the file.
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		return fmt.Errorf("%s: trailing data after the points array", path)
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("%s: no points", path)
+	}
+	points, err := sdpolicy.PointsFromSpecs(specs)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	updates := make(chan sdpolicy.PointResult, len(points))
+	errc := make(chan error, 1)
+	go func() {
+		_, err := r.engine.RunStream(r.ctx, points, updates)
+		errc <- err
+	}()
+	enc := json.NewEncoder(os.Stdout)
+	pending := make(map[int]sdpolicy.PointResult)
+	next := 0
+	for u := range updates {
+		pending[u.Index] = u
+		for {
+			v, ok := pending[next]
+			if !ok {
+				break
+			}
+			if err := enc.Encode(v); err != nil {
+				return err
+			}
+			delete(pending, next)
+			next++
+		}
+	}
+	return <-errc
 }
 
 type runner struct {

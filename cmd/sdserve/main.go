@@ -9,12 +9,20 @@
 //	POST /v1/simulate  {"workload":"wl1","scale":0.1,"seed":1,
 //	                    "options":{"policy":"sd","max_slowdown":10}}
 //	POST /v1/sweep     {"workloads":["wl1","wl2"],"scale":0.1,"seed":1}
+//	POST /v1/campaign  {"points":[{"workload":"wl1","scale":0.1,
+//	                    "options":{"policy":"sd"}}, ...]} — streams one
+//	                   result per point (SSE with Accept:
+//	                   text/event-stream or "format":"sse", NDJSON
+//	                   otherwise) plus a terminal done/error event
 //	GET  /healthz
 //
 // All requests share one engine: identical in-flight requests coalesce
 // into a single simulation, repeated points are served from the LRU
 // result cache, and -max-inflight bounds concurrently simulating
-// requests. SIGINT/SIGTERM drain in-flight requests before exit.
+// requests. Disconnecting from a streaming campaign cancels it
+// mid-simulation and frees its slot. SIGINT/SIGTERM finish open
+// streams with a terminal shutdown event, then drain in-flight
+// requests before exit.
 package main
 
 import (
@@ -44,9 +52,10 @@ func main() {
 	flag.Parse()
 
 	engine := sdpolicy.NewEngine(*workers, *cache)
+	api := serve.New(engine, *inflight)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           serve.New(engine, *inflight).Handler(),
+		Handler:           api.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -65,6 +74,10 @@ func main() {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "sdserve: shutting down, draining in-flight requests")
+	// Finish open /v1/campaign streams with a terminal shutdown event
+	// first, so Shutdown below drains instead of holding them open (or
+	// cutting them) for the whole grace period.
+	api.BeginShutdown()
 	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {

@@ -19,6 +19,12 @@
 //
 //   - Cancellation: Run honours context cancellation between tasks and
 //     propagates the first task error, cancelling the remaining work.
+//     The task function receives the batch context, so a task that
+//     checkpoints it (sched.RunContext) also aborts mid-execution.
+//
+//   - Streaming: RunStream additionally delivers each position's result
+//     on a channel the moment its key resolves, in completion order,
+//     while the returned slice keeps the deterministic input alignment.
 package campaign
 
 import (
@@ -114,11 +120,38 @@ func (r *Runner[K, R]) Stats() (hits, misses uint64) {
 	return r.hits.Load(), r.misses.Load()
 }
 
+// Update is one incremental result delivery from RunStream: the result
+// for input position Index, whose key was Key (keys[Index] == Key).
+// Duplicate positions of one key are delivered together, in ascending
+// index order.
+type Update[K comparable, R any] struct {
+	Index int
+	Key   K
+	Value R
+}
+
 // Run resolves every key and returns results aligned with keys:
 // results[i] is the result for keys[i]. Duplicate keys share one
 // execution. On the first task error or on ctx cancellation the
 // remaining tasks are abandoned and Run returns the error.
 func (r *Runner[K, R]) Run(ctx context.Context, keys []K) ([]R, error) {
+	return r.RunStream(ctx, keys, nil)
+}
+
+// RunStream is Run with incremental delivery: as each input key
+// resolves, an Update for every position holding that key is sent on
+// updates (when non-nil) long before the batch completes. Updates
+// arrive in completion order — nondeterministic across keys — so
+// streaming consumers trade ordering for latency, while the returned
+// slice keeps Run's deterministic input alignment and is bytewise
+// identical to a sequential run's. RunStream closes updates before
+// returning. A consumer that stops draining updates must cancel ctx:
+// sends block (applying backpressure to the workers) until either the
+// consumer receives or the context ends.
+func (r *Runner[K, R]) RunStream(ctx context.Context, keys []K, updates chan<- Update[K, R]) ([]R, error) {
+	if updates != nil {
+		defer close(updates)
+	}
 	if len(keys) == 0 {
 		return nil, ctx.Err()
 	}
@@ -173,6 +206,26 @@ func (r *Runner[K, R]) Run(ctx context.Context, keys []K) ([]R, error) {
 				// callback sees never goes backwards.
 				r.notify(done, total)
 				mu.Unlock()
+				// Stream outside mu so one slow consumer stalls only
+				// this worker, not the whole pool. The non-blocking
+				// attempt first means a completed result is never
+				// raced out by a simultaneously-cancelled ctx as long
+				// as the channel has buffer room — consumers that
+				// drain after cancelling (serve shutdown) rely on it.
+				if updates != nil {
+					for _, i := range where[k] {
+						u := Update[K, R]{Index: i, Key: k, Value: val}
+						select {
+						case updates <- u:
+						default:
+							select {
+							case updates <- u:
+							case <-ctx.Done():
+								return
+							}
+						}
+					}
+				}
 			}
 		}(w)
 	}

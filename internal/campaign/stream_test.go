@@ -1,0 +1,163 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunStreamDeliversEveryIndexOnce(t *testing.T) {
+	r := New(func(ctx context.Context, k int) (int, error) { return k * k, nil },
+		Config{Workers: 4})
+	keys := []int{3, 1, 4, 1, 5, 9, 2, 6, 5, 3} // duplicates on purpose
+	updates := make(chan Update[int, int], len(keys))
+	results, err := r.RunStream(context.Background(), keys, updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]Update[int, int])
+	for u := range updates {
+		if _, dup := seen[u.Index]; dup {
+			t.Fatalf("index %d delivered twice", u.Index)
+		}
+		seen[u.Index] = u
+	}
+	if len(seen) != len(keys) {
+		t.Fatalf("%d updates for %d keys", len(seen), len(keys))
+	}
+	for i, k := range keys {
+		if results[i] != k*k {
+			t.Fatalf("results[%d] = %d, want %d", i, results[i], k*k)
+		}
+		u := seen[i]
+		if u.Key != k || u.Value != k*k {
+			t.Fatalf("update %d = %+v, want key %d value %d", i, u, k, k*k)
+		}
+	}
+}
+
+func TestRunStreamClosesUpdatesOnEmptyAndErrorBatches(t *testing.T) {
+	boom := errors.New("boom")
+	r := New(func(ctx context.Context, k int) (int, error) {
+		if k < 0 {
+			return 0, boom
+		}
+		return k, nil
+	}, Config{Workers: 2})
+
+	updates := make(chan Update[int, int])
+	if _, err := r.RunStream(context.Background(), nil, updates); err != nil {
+		t.Fatal(err)
+	}
+	if _, open := <-updates; open {
+		t.Fatal("updates not closed for an empty batch")
+	}
+
+	updates = make(chan Update[int, int], 8)
+	if _, err := r.RunStream(context.Background(), []int{1, -1, 2}, updates); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	for range updates { // must terminate: channel closed despite the error
+	}
+}
+
+// TestRunStreamEarlyDelivery proves streaming actually streams: with a
+// task function that blocks until released, the first key's update must
+// arrive while later keys are still executing.
+func TestRunStreamEarlyDelivery(t *testing.T) {
+	release := make(chan struct{})
+	r := New(func(ctx context.Context, k int) (int, error) {
+		if k != 0 {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		}
+		return k, nil
+	}, Config{Workers: 2})
+	updates := make(chan Update[int, int], 4)
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.RunStream(context.Background(), []int{0, 1, 2, 3}, updates)
+		done <- err
+	}()
+	select {
+	case u := <-updates:
+		if u.Key != 0 {
+			t.Fatalf("first update for key %d, want the unblocked key 0", u.Key)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no update while the batch was still running")
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunStreamAbandonedConsumerCancels verifies the documented
+// contract: a consumer that stops draining blocks the workers until the
+// context is cancelled, at which point RunStream returns instead of
+// deadlocking.
+func TestRunStreamAbandonedConsumerCancels(t *testing.T) {
+	r := New(func(ctx context.Context, k int) (int, error) { return k, nil },
+		Config{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	updates := make(chan Update[int, int]) // unbuffered, never read
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.RunStream(ctx, []int{1, 2, 3, 4}, updates)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let a worker block on the send
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunStream deadlocked on an abandoned consumer")
+	}
+}
+
+// TestRunStreamMatchesRun checks the determinism guarantee end to end:
+// the slice returned by a streamed, parallel run equals the slice from
+// a sequential Run.
+func TestRunStreamMatchesRun(t *testing.T) {
+	fn := func(ctx context.Context, k int) (string, error) {
+		return fmt.Sprintf("v%d", k), nil
+	}
+	seq := New(fn, Config{Workers: 1})
+	par := New(fn, Config{Workers: 8})
+	keys := make([]int, 50)
+	for i := range keys {
+		keys[i] = i % 17
+	}
+	want, err := seq.Run(context.Background(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates := make(chan Update[int, string])
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // drain concurrently so unbuffered sends make progress
+		defer wg.Done()
+		for range updates {
+		}
+	}()
+	got, err := par.RunStream(context.Background(), keys, updates)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("results[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sdpolicy/internal/workload"
+)
+
+// cancelSpec regenerates the test workload fresh per run: Submit hands
+// the scheduler pointers into spec.Jobs, so a spec must not be reused
+// across simulations.
+func cancelSpec() workload.Spec { return workload.WL1(0.3, 1) }
+
+func cancelCfg() Config {
+	cfg := Defaults()
+	cfg.Policy = SDPolicy
+	cfg.MaxSlowdown = 10
+	return cfg
+}
+
+// TestRunContextCancelsPromptly verifies the acceptance criterion that
+// abort latency is far below point runtime: a run cancelled shortly
+// after starting must return well before the full simulation would
+// have finished. Bounds are ratios of the measured full runtime, so
+// the test holds under -race and on slow machines.
+func TestRunContextCancelsPromptly(t *testing.T) {
+	start := time.Now()
+	if _, err := Run(cancelSpec(), cancelCfg()); err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(start)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	time.AfterFunc(full/20, cancel)
+	start = time.Now()
+	res, err := RunContext(ctx, cancelSpec(), cancelCfg())
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v (res %+v), want context.Canceled", err, res)
+	}
+	if elapsed > full/2 {
+		t.Fatalf("cancelled run returned after %v; full run takes %v — abort not prompt", elapsed, full)
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, workload.WL5(0.1, 1), Defaults()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextBackgroundMatchesRun checks that threading a context
+// did not perturb the simulation: RunContext with a background context
+// produces the same report as Run.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	a, err := Run(cancelSpec(), cancelCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), cancelSpec(), cancelCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || a.Passes != b.Passes ||
+		a.Report.Makespan() != b.Report.Makespan() ||
+		a.Report.AvgSlowdown() != b.Report.AvgSlowdown() {
+		t.Fatalf("Run and RunContext diverged:\n%+v\nvs\n%+v", a, b)
+	}
+}

@@ -123,6 +123,11 @@ type Config struct {
 	// Speedups provides per-application speedup curves for the App
 	// runtime model; nil selects a linear curve.
 	Speedups func(job.AppClass) model.SpeedupFn
+	// CheckpointEvents is how many simulation events RunContext
+	// processes between context-cancellation checks; 0 selects
+	// sim.DefaultCheckpoint. Smaller values tighten cancellation
+	// latency at a (tiny) per-event cost.
+	CheckpointEvents uint64
 	// Observer, when non-nil, receives scheduling events as they happen
 	// (job starts, reconfigurations, completions, usage changes) for
 	// trace recording and live analysis.

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
 	"sdpolicy/internal/drom"
@@ -24,8 +25,21 @@ type Result struct {
 
 // Run simulates the workload under the configuration and returns the
 // completion report. It errors on invalid inputs or if any job fails to
-// complete (which would indicate a scheduler bug).
+// complete (which would indicate a scheduler bug). Run is not
+// cancellable; use RunContext when the caller may abandon the
+// simulation mid-flight.
 func Run(spec workload.Spec, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), spec, cfg)
+}
+
+// RunContext is Run with mid-simulation cancellation: the event loop
+// checkpoints ctx every cfg.CheckpointEvents events (0 selects
+// sim.DefaultCheckpoint) and, once the context is cancelled, abandons
+// the partial simulation and returns an error wrapping ctx.Err().
+// Cancellation latency is bounded by the time to process one
+// checkpoint interval — milliseconds even on the full-scale workloads
+// — rather than by the remaining runtime of the whole simulation.
+func RunContext(ctx context.Context, spec workload.Spec, cfg Config) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -42,7 +56,10 @@ func Run(spec workload.Spec, cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
-	eng.Run()
+	if err := eng.RunCtx(ctx, cfg.CheckpointEvents); err != nil {
+		return nil, fmt.Errorf("sched: simulation aborted after %d events at t=%d: %w",
+			eng.Processed(), eng.Now(), err)
+	}
 	if len(s.results) != len(spec.Jobs) {
 		return nil, fmt.Errorf("sched: %d of %d jobs completed — scheduler deadlock",
 			len(s.results), len(spec.Jobs))

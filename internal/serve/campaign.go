@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"sdpolicy"
+)
+
+// CampaignRequest is the /v1/campaign body: an arbitrary list of
+// simulation points, streamed back one result per point as each
+// completes.
+type CampaignRequest struct {
+	Points []sdpolicy.PointSpec `json:"points"`
+	// Format forces the stream encoding: "sse" or "ndjson". Empty
+	// means NDJSON unless the request's Accept header asks for
+	// text/event-stream.
+	Format string `json:"format,omitempty"`
+}
+
+// CampaignDone is the terminal success payload of a /v1/campaign
+// stream (SSE event "done" / final NDJSON line).
+type CampaignDone struct {
+	Done bool `json:"done"`
+	// Points is how many per-point results were streamed before the
+	// terminal event; on success it equals the request's point count.
+	Points int `json:"points"`
+}
+
+// CampaignShutdown is the terminal payload when the server begins
+// shutdown while the stream is open (SSE event "shutdown").
+type CampaignShutdown struct {
+	Shutdown bool   `json:"shutdown"`
+	Error    string `json:"error"`
+}
+
+// handleCampaign validates the point list, then streams one event per
+// completed point followed by exactly one terminal event: done, error,
+// or shutdown. A client disconnect cancels the campaign mid-simulation
+// and frees the request's slot.
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	var req CampaignRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("missing points"))
+		return
+	}
+	points, err := sdpolicy.PointsFromSpecs(req.Points)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sse, err := wantsSSE(r, req.Format)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.acquire(w, r.Context()) {
+		return
+	}
+	defer s.release()
+	s.campaigns.Add(1)
+	defer s.campaigns.Add(-1)
+
+	// The campaign context ends with the client connection (disconnect
+	// detection) or explicitly on server shutdown.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+
+	st := newStreamWriter(w, sse)
+	// Buffered for the whole campaign: results completed by shutdown
+	// time are guaranteed to still be deliverable by the drain below.
+	updates := make(chan sdpolicy.PointResult, len(points))
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.engine.RunStream(ctx, points, updates)
+		errc <- err
+	}()
+	sent := 0
+	for {
+		select {
+		case u, ok := <-updates:
+			if !ok {
+				if err := <-errc; err != nil {
+					st.event("error", apiError{Error: err.Error()})
+				} else {
+					st.event("done", CampaignDone{Done: true, Points: sent})
+				}
+				return
+			}
+			st.event("result", u)
+			sent++
+		case <-s.shutdown:
+			cancel()
+			// Deliver whatever already simulated before closing out:
+			// completed results are parked in the channel buffer, and
+			// the drain terminates promptly because any remaining
+			// engine sends also select on the now-cancelled ctx.
+			for u := range updates {
+				st.event("result", u)
+				sent++
+			}
+			// Report the campaign's real terminal state: it may have
+			// completed (or failed) in the same instant shutdown began,
+			// and only a shutdown-induced cancellation should be
+			// masked by the shutdown event.
+			switch err := <-errc; {
+			case err == nil:
+				st.event("done", CampaignDone{Done: true, Points: sent})
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				st.event("shutdown", CampaignShutdown{Shutdown: true, Error: "server shutting down"})
+			default:
+				st.event("error", apiError{Error: err.Error()})
+			}
+			return
+		}
+	}
+}
+
+// wantsSSE resolves the stream encoding from the explicit format field
+// or the Accept header.
+func wantsSSE(r *http.Request, format string) (bool, error) {
+	switch format {
+	case "sse":
+		return true, nil
+	case "ndjson", "":
+	default:
+		return false, fmt.Errorf("unknown format %q (want sse or ndjson)", format)
+	}
+	if format == "" && strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		return true, nil
+	}
+	return false, nil
+}
+
+// streamWriter encodes one event at a time as SSE or NDJSON, flushing
+// after each so clients observe results as they complete.
+type streamWriter struct {
+	w   http.ResponseWriter
+	fl  http.Flusher
+	sse bool
+}
+
+func newStreamWriter(w http.ResponseWriter, sse bool) *streamWriter {
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	// Tell buffering reverse proxies (nginx) not to hold the stream.
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	sw := &streamWriter{w: w, fl: fl, sse: sse}
+	sw.flush()
+	return sw
+}
+
+// event writes one payload. Write errors are deliberately ignored: they
+// mean the client is gone, and the campaign context (derived from the
+// request) is what actually stops the work.
+func (sw *streamWriter) event(name string, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+		name = "error"
+	}
+	if sw.sse {
+		fmt.Fprintf(sw.w, "event: %s\ndata: %s\n\n", name, b)
+	} else {
+		fmt.Fprintf(sw.w, "%s\n", b)
+	}
+	sw.flush()
+}
+
+func (sw *streamWriter) flush() {
+	if sw.fl != nil {
+		sw.fl.Flush()
+	}
+}

@@ -7,16 +7,20 @@
 //
 //	POST /v1/simulate  one simulation point  -> the full Result
 //	POST /v1/sweep     Figures 1-3 campaign  -> normalised SweepRows
-//	GET  /healthz      liveness + cache and pool statistics
+//	POST /v1/campaign  arbitrary point list  -> streamed per-point
+//	                   results (SSE or NDJSON) + terminal event
+//	GET  /healthz      liveness + in-flight, cache and pool statistics
 //
 // Every simulation goes through one shared Engine, so concurrent
 // requests for the same canonical point coalesce into a single run and
 // repeated requests are served from the result cache. A semaphore
 // bounds the number of requests simulating at once; excess requests
 // queue until a slot frees or the client gives up while still waiting.
-// Note that a request already holding a slot keeps it until its
-// simulation finishes even if the client disconnects — the simulator
-// has no mid-run cancellation checkpoints yet (see ROADMAP).
+// A client disconnect cancels the request's campaign — including the
+// simulation point currently in flight, which aborts at its next
+// event-loop checkpoint — so the slot frees within milliseconds rather
+// than after the point completes. BeginShutdown ends open streams with
+// a terminal shutdown event instead of cutting the connection.
 package serve
 
 import (
@@ -25,6 +29,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
+	"sync/atomic"
 
 	"sdpolicy"
 )
@@ -35,6 +41,13 @@ type Server struct {
 	// slots bounds in-flight simulating requests (not connections):
 	// acquire to simulate, release when done.
 	slots chan struct{}
+	// campaigns counts /v1/campaign requests currently streaming,
+	// reported by /healthz.
+	campaigns atomic.Int64
+	// shutdown is closed by BeginShutdown so streaming handlers can
+	// finish their response with a terminal event.
+	shutdown     chan struct{}
+	shutdownOnce sync.Once
 }
 
 // New builds a Server over the engine, allowing at most maxInflight
@@ -43,7 +56,11 @@ func New(engine *sdpolicy.Engine, maxInflight int) *Server {
 	if maxInflight <= 0 {
 		maxInflight = 16
 	}
-	return &Server{engine: engine, slots: make(chan struct{}, maxInflight)}
+	return &Server{
+		engine:   engine,
+		slots:    make(chan struct{}, maxInflight),
+		shutdown: make(chan struct{}),
+	}
 }
 
 // Handler returns the routed API handler.
@@ -51,21 +68,26 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/simulate", s.handleSimulate)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/campaign", s.handleCampaign)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	return mux
 }
 
-// SimulateRequest is the /v1/simulate body. Scale and Seed default to
-// 1; Options defaults to the static baseline under the ideal model.
-type SimulateRequest struct {
-	Workload string           `json:"workload"`
-	Scale    float64          `json:"scale"`
-	Seed     uint64           `json:"seed"`
-	Options  sdpolicy.Options `json:"options"`
-	// MalleableFraction, when non-nil, re-flags that fraction of jobs
-	// malleable before simulating.
-	MalleableFraction *float64 `json:"malleable_fraction,omitempty"`
+// BeginShutdown tells streaming handlers the server is going away:
+// each open /v1/campaign stream cancels its campaign, writes a
+// terminal shutdown event and completes its response, so a subsequent
+// http.Server.Shutdown drains promptly instead of hanging on
+// long-lived streams until the grace period cuts them. Safe to call
+// more than once.
+func (s *Server) BeginShutdown() {
+	s.shutdownOnce.Do(func() { close(s.shutdown) })
 }
+
+// SimulateRequest is the /v1/simulate body: one campaign point in the
+// shared wire form. Scale and Seed default to 1; Options defaults to
+// the static baseline under the ideal model; MalleableFraction, when
+// present, re-flags that fraction of jobs malleable before simulating.
+type SimulateRequest = sdpolicy.PointSpec
 
 // SweepRequest is the /v1/sweep body: the Figures 1-3 campaign over the
 // given workloads. Scale and Seed default to 1.
@@ -82,10 +104,15 @@ type SweepResponse struct {
 
 // Health is the /healthz reply.
 type Health struct {
-	Status      string `json:"status"`
-	Workers     int    `json:"workers"`
-	CacheHits   uint64 `json:"cache_hits"`
-	CacheMisses uint64 `json:"cache_misses"`
+	Status  string `json:"status"`
+	Workers int    `json:"workers"`
+	// InFlight is how many requests currently hold a simulation slot;
+	// CampaignsInFlight how many of them are streaming /v1/campaign
+	// responses.
+	InFlight          int    `json:"in_flight"`
+	CampaignsInFlight int64  `json:"campaigns_in_flight"`
+	CacheHits         uint64 `json:"cache_hits"`
+	CacheMisses       uint64 `json:"cache_misses"`
 }
 
 type apiError struct {
@@ -97,26 +124,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if req.Workload == "" {
-		writeError(w, http.StatusBadRequest, errors.New("missing workload"))
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
-	}
-	applyDefaults(&req.Scale, &req.Seed)
-	p := sdpolicy.NewPoint(req.Workload, req.Scale, req.Seed, req.Options)
-	if req.MalleableFraction != nil {
-		f := *req.MalleableFraction
-		if !(f >= 0 && f <= 1) {
-			writeError(w, http.StatusBadRequest,
-				fmt.Errorf("malleable_fraction %v out of [0,1]", f))
-			return
-		}
-		p.MalleableFraction = f
 	}
 	if !s.acquire(w, r.Context()) {
 		return
 	}
 	defer s.release()
-	res, err := s.engine.SimulatePoint(r.Context(), p)
+	res, err := s.engine.SimulatePoint(r.Context(), req.Point())
 	if err != nil {
 		writeError(w, statusFor(r.Context(), err), err)
 		return
@@ -153,10 +169,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	hits, misses := s.engine.CacheStats()
 	writeJSON(w, http.StatusOK, Health{
-		Status:      "ok",
-		Workers:     s.engine.Workers(),
-		CacheHits:   hits,
-		CacheMisses: misses,
+		Status:            "ok",
+		Workers:           s.engine.Workers(),
+		InFlight:          len(s.slots),
+		CampaignsInFlight: s.campaigns.Load(),
+		CacheHits:         hits,
+		CacheMisses:       misses,
 	})
 }
 
@@ -175,14 +193,20 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
-// acquire takes a simulation slot, waiting until one frees or the
-// client disconnects. It replies and returns false on failure.
+// acquire takes a simulation slot, waiting until one frees, the client
+// disconnects, or the server begins shutdown (a request still queueing
+// then has not produced any output, so a plain 503 — rather than a
+// streamed terminal event — is the right refusal and lets Shutdown
+// drain promptly). It replies and returns false on failure.
 func (s *Server) acquire(w http.ResponseWriter, ctx context.Context) bool {
 	select {
 	case s.slots <- struct{}{}:
 		return true
 	case <-ctx.Done():
 		writeError(w, http.StatusServiceUnavailable, errors.New("cancelled while waiting for a simulation slot"))
+		return false
+	case <-s.shutdown:
+		writeError(w, http.StatusServiceUnavailable, errors.New("server shutting down"))
 		return false
 	}
 }

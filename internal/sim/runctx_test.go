@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestRunCtxDrainsNormally(t *testing.T) {
+	eng := NewEngine()
+	fired := 0
+	for i := 0; i < 100; i++ {
+		eng.Schedule(Time(i), PriStats, func() { fired++ })
+	}
+	if err := eng.RunCtx(context.Background(), 0); err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+	if fired != 100 || eng.Processed() != 100 {
+		t.Fatalf("fired %d, processed %d, want 100", fired, eng.Processed())
+	}
+}
+
+func TestRunCtxPreCancelledFiresNothing(t *testing.T) {
+	eng := NewEngine()
+	eng.Schedule(0, PriStats, func() { t.Fatal("event fired under pre-cancelled context") })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := eng.RunCtx(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if eng.Processed() != 0 {
+		t.Fatalf("%d events fired", eng.Processed())
+	}
+}
+
+// TestRunCtxStopsWithinOneCheckpoint drives a self-perpetuating event
+// stream — without cancellation it would never drain — and checks the
+// loop stops within one checkpoint interval of the cancellation.
+func TestRunCtxStopsWithinOneCheckpoint(t *testing.T) {
+	const every = 32
+	eng := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n == 1000 {
+			cancel()
+		}
+		eng.Schedule(eng.Now()+1, PriStats, tick)
+	}
+	eng.Schedule(0, PriStats, tick)
+	if err := eng.RunCtx(ctx, every); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n < 1000 {
+		t.Fatalf("stopped after %d events, before the cancellation at 1000", n)
+	}
+	if overrun := n - 1000; overrun > every {
+		t.Fatalf("ran %d events past the cancellation, checkpoint interval is %d", overrun, every)
+	}
+}

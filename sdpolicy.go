@@ -30,15 +30,21 @@
 // CompareRuntimeModels, the ablations, ...) delegate to a process-wide
 // Default engine; the Engine methods additionally accept a
 // context.Context for cancellation and report progress via OnProgress.
+// Cancellation is prompt: the scheduler's event loop checkpoints the
+// context (sched.RunContext), so cancelling a campaign aborts even the
+// simulation point currently in flight within milliseconds.
+// Engine.RunStream streams each point's result on a channel as it
+// completes while still returning the deterministic final merge.
 // DeriveSeed expands one base seed into independent per-replicate
 // seeds for multi-seed campaigns.
 //
 // cmd/sdserve exposes the same engine over HTTP (POST /v1/simulate,
-// POST /v1/sweep), serving concurrent clients from one shared result
-// cache.
+// POST /v1/sweep, and the streaming POST /v1/campaign), serving
+// concurrent clients from one shared result cache.
 package sdpolicy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -360,11 +366,19 @@ func HeatmapLabels() (nodeBuckets, timeBuckets []string) {
 
 // Simulate runs the workload under the options and returns the metrics.
 func Simulate(w Workload, opt Options) (*Result, error) {
+	return SimulateContext(context.Background(), w, opt)
+}
+
+// SimulateContext is Simulate with mid-simulation cancellation: the
+// scheduler's event loop checkpoints ctx every few dozen events, so
+// an abandoned simulation aborts within milliseconds — returning an
+// error wrapping ctx.Err() — instead of running to completion.
+func SimulateContext(ctx context.Context, w Workload, opt Options) (*Result, error) {
 	cfg, err := opt.toConfig()
 	if err != nil {
 		return nil, err
 	}
-	res, err := sched.Run(w.spec, cfg)
+	res, err := sched.RunContext(ctx, w.spec, cfg)
 	if err != nil {
 		return nil, err
 	}
