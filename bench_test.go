@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+
+	"sdpolicy/internal/workload"
 )
 
 // benchScale keeps a single benchmark iteration in the tens of
@@ -216,6 +218,40 @@ func BenchmarkCampaignCached(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkWorkloadDerive measures the copy-on-write derivation path
+// against regenerating the same workload from scratch — the ratio is
+// the per-variant saving the generation cache buys every ablation
+// point (a k-variant sweep pays one generation plus k derives instead
+// of k generations). wl4 at scale 0.25 is ~50k jobs, the largest
+// stream the benchmark suite touches.
+func BenchmarkWorkloadDerive(b *testing.B) {
+	const name, scale, seed = "wl4", 0.25, 1
+	base, err := workload.Shared.Get(name, scale, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chain := []workload.Derivation{
+		workload.MalleableFraction(0.5),
+		workload.TagNodes("bigmem", 0.5),
+		workload.RequireFeature("bigmem", 0.25),
+	}
+	b.Run("derive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := workload.Derive(base, chain); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(base.Jobs)), "jobs")
+	})
+	b.Run("regenerate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := workload.ByName(name, scale, seed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // Microbenchmarks of the simulator itself: scheduling throughput.

@@ -9,21 +9,35 @@ import (
 	"sync"
 
 	"sdpolicy/internal/campaign"
+	"sdpolicy/internal/workload"
 )
 
 // Point is one independent simulation task of a campaign: a workload
-// preset at a scale and seed, simulated under Options. Points are
-// comparable values; two Points that canonicalise equally identify the
-// same simulation and share one cached result.
+// preset at a scale and seed, derived through an optional chain of
+// variant operations, simulated under Options. Points are comparable
+// values; two Points that canonicalise equally identify the same
+// simulation and share one cached result. The base workload itself is
+// resolved through the process-wide generation cache, so k variant
+// points over one base cost one generation plus k copy-on-write
+// derivations.
 type Point struct {
 	Workload string  `json:"workload"`
 	Scale    float64 `json:"scale"`
 	Seed     uint64  `json:"seed"`
 	// MalleableFraction, when in [0, 1], re-flags that fraction of jobs
 	// malleable before simulating (mixed-workload experiments). A
-	// negative value keeps the generated mix. NewPoint sets -1.
+	// negative value keeps the generated mix. NewPoint sets -1. It is
+	// the pre-derivation legacy form: canonicalisation folds it into
+	// Derivations as a leading malleable_fraction op, so the two
+	// spellings share one cache entry.
 	MalleableFraction float64 `json:"malleable_fraction"`
-	Options           Options `json:"options"`
+	// Derivations is the canonical chain encoding (workload.Chain) of
+	// the variant operations applied, in order, to the generated base
+	// workload before simulating. Being a comparable string it keeps
+	// Point usable directly as the campaign cache key; use
+	// NewDerivedPoint or WithDerivations to populate it.
+	Derivations workload.Chain `json:"derivations"`
+	Options     Options        `json:"options"`
 }
 
 // NewPoint builds a Point with the generated malleable mix kept as is.
@@ -31,14 +45,35 @@ func NewPoint(workload string, scale float64, seed uint64, opt Options) Point {
 	return Point{Workload: workload, Scale: scale, Seed: seed, MalleableFraction: -1, Options: opt}
 }
 
+// NewDerivedPoint builds a Point whose base workload is transformed by
+// the derivation chain before simulating. Invalid derivations are
+// rejected later, by Engine.Run, with ErrBadInput.
+func NewDerivedPoint(name string, scale float64, seed uint64, opt Options, derivs ...Derivation) Point {
+	p := NewPoint(name, scale, seed, opt)
+	p.Derivations = workload.EncodeChain(derivs)
+	return p
+}
+
+// WithDerivations returns the point with the derivation chain replaced.
+func (p Point) WithDerivations(derivs ...Derivation) Point {
+	p.Derivations = workload.EncodeChain(derivs)
+	return p
+}
+
 // MarshalJSON encodes the -1 keep-mix sentinel as an absent
-// malleable_fraction, so a streamed point is itself a valid PointSpec:
-// clients can resubmit any echoed point verbatim.
+// malleable_fraction and the derivation chain as its JSON list, so a
+// streamed point is itself a valid PointSpec: clients can resubmit any
+// echoed point verbatim.
 func (p Point) MarshalJSON() ([]byte, error) {
 	w := PointSpec{Workload: p.Workload, Scale: p.Scale, Seed: p.Seed, Options: p.Options}
 	if p.MalleableFraction >= 0 {
 		w.MalleableFraction = &p.MalleableFraction
 	}
+	derivs, err := p.Derivations.Derivations()
+	if err != nil {
+		return nil, err
+	}
+	w.Derivations = derivs
 	return json.Marshal(w)
 }
 
@@ -56,13 +91,17 @@ func (p *Point) UnmarshalJSON(data []byte) error {
 	if s.MalleableFraction != nil {
 		p.MalleableFraction = *s.MalleableFraction
 	}
+	p.Derivations = workload.EncodeChain(s.Derivations)
 	return nil
 }
 
 // validate rejects float fields that would corrupt the campaign's
 // map-based bookkeeping: NaN is never a valid map key (NaN != NaN, so
 // a NaN-keyed point could simulate yet never deliver its result), and
-// infinities are only meaningful for MaxSlowdown.
+// infinities are only meaningful for MaxSlowdown. It also rejects
+// malformed or invalid derivation chains, so canonicalisation (which
+// folds MalleableFraction into the chain) and workers (which apply it)
+// operate on known-good chains.
 func (p Point) validate() error {
 	bad := func(field string, v float64) error {
 		return fmt.Errorf("sdpolicy: point %s %v is not a finite number: %w", field, v, ErrBadInput)
@@ -82,14 +121,33 @@ func (p Point) validate() error {
 	if math.IsNaN(p.Options.OversubPenalty) || math.IsInf(p.Options.OversubPenalty, 0) {
 		return bad("oversubscription penalty", p.Options.OversubPenalty)
 	}
+	derivs, err := p.Derivations.Derivations()
+	if err != nil {
+		return fmt.Errorf("sdpolicy: %w: %w", err, ErrBadInput)
+	}
+	for i, d := range derivs {
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("sdpolicy: derivation %d: %w: %w", i, err, ErrBadInput)
+		}
+	}
 	return nil
 }
 
 // canonical normalises the point so that syntactically different but
-// semantically identical points (e.g. Policy "" vs "static") share one
-// cache entry.
+// semantically identical points (e.g. Policy "" vs "static", or a
+// legacy MalleableFraction vs the equivalent leading derivation) share
+// one cache entry. The point must have passed validate: canonical
+// panics on a malformed chain rather than silently dropping the legacy
+// fraction.
 func (p Point) canonical() Point {
 	if p.MalleableFraction < 0 {
+		p.MalleableFraction = -1
+	} else {
+		chain, err := p.Derivations.Prepend(workload.MalleableFraction(p.MalleableFraction))
+		if err != nil {
+			panic(fmt.Sprintf("sdpolicy: canonicalising unvalidated point: %v", err))
+		}
+		p.Derivations = chain
 		p.MalleableFraction = -1
 	}
 	p.Options = p.Options.canonical()
@@ -130,29 +188,40 @@ func (o Options) canonical() Options {
 }
 
 // PointSpec is the JSON wire form of a Point, shared by the sdserve
-// /v1/campaign endpoint and cmd/sdexp's -points mode. Scale and Seed
-// default to 1 when omitted; a nil MalleableFraction keeps the
-// generated malleable mix.
+// /v1/campaign and /v1/simulate endpoints and cmd/sdexp's -points mode.
+// Scale and Seed default to 1 when omitted; a nil MalleableFraction
+// keeps the generated malleable mix; Derivations is the ordered variant
+// chain ({"op": "tag_nodes", "fraction": 0.5, "feature": "bigmem"},
+// ...) applied to the generated base workload before simulating, which
+// is how the labelled ablation sweeps — including the heterogeneous
+// node-feature ones — are expressed as plain points over HTTP.
 type PointSpec struct {
-	Workload          string   `json:"workload"`
-	Scale             float64  `json:"scale,omitempty"`
-	Seed              uint64   `json:"seed,omitempty"`
-	MalleableFraction *float64 `json:"malleable_fraction,omitempty"`
-	Options           Options  `json:"options"`
+	Workload          string       `json:"workload"`
+	Scale             float64      `json:"scale,omitempty"`
+	Seed              uint64       `json:"seed,omitempty"`
+	MalleableFraction *float64     `json:"malleable_fraction,omitempty"`
+	Derivations       []Derivation `json:"derivations,omitempty"`
+	Options           Options      `json:"options"`
 }
 
 // Validate rejects spec fields the wire layers must refuse before
 // Point() collapses them into the Point sentinel encodings: a missing
-// workload and an out-of-range MalleableFraction (a negative value
-// would otherwise silently mean "keep the generated mix"). Errors are
-// tagged ErrBadInput. Everything else — unknown workload, bad policy,
-// NaN floats — is rejected later by Engine.Run.
+// workload, an out-of-range MalleableFraction (a negative value would
+// otherwise silently mean "keep the generated mix"), and structurally
+// invalid derivations. Errors are tagged ErrBadInput. Everything else —
+// unknown workload, bad policy, NaN floats — is rejected later by
+// Engine.Run.
 func (s PointSpec) Validate() error {
 	if s.Workload == "" {
 		return fmt.Errorf("sdpolicy: point workload missing: %w", ErrBadInput)
 	}
 	if f := s.MalleableFraction; f != nil && !(*f >= 0 && *f <= 1) {
 		return fmt.Errorf("sdpolicy: malleable_fraction %v out of [0,1]: %w", *f, ErrBadInput)
+	}
+	for i, d := range s.Derivations {
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("sdpolicy: derivation %d: %w: %w", i, err, ErrBadInput)
+		}
 	}
 	return nil
 }
@@ -172,6 +241,7 @@ func (s PointSpec) Point() Point {
 	if s.MalleableFraction != nil {
 		p.MalleableFraction = *s.MalleableFraction
 	}
+	p.Derivations = workload.EncodeChain(s.Derivations)
 	return p
 }
 
@@ -224,20 +294,28 @@ func NewEngine(workers, cacheSize int) *Engine {
 	return e
 }
 
+// simulatePoint resolves one canonical point: the base workload comes
+// from the process-wide generation cache (generated at most once per
+// (name, scale, seed) no matter how many variants or workers ask), the
+// derivation chain is applied copy-on-write, and the variant simulates.
+// Its only caller hands it keys produced by canonical(), which folds
+// the legacy MalleableFraction field into the chain — a lingering
+// fraction here means that invariant broke, so fail loudly instead of
+// re-implementing the fold.
 func simulatePoint(ctx context.Context, p Point) (*Result, error) {
-	// Reject out-of-range fractions (including NaN) here rather than
-	// letting SetMalleableFraction panic inside a worker goroutine.
-	// canonical() collapses every negative to the -1 "keep mix" sentinel.
-	if !(p.MalleableFraction == -1 || (p.MalleableFraction >= 0 && p.MalleableFraction <= 1)) {
-		return nil, fmt.Errorf("sdpolicy: malleable fraction %v out of [0,1]: %w", p.MalleableFraction, ErrBadInput)
+	if p.MalleableFraction != -1 {
+		return nil, fmt.Errorf("sdpolicy: point not canonicalised (malleable fraction %v): %w",
+			p.MalleableFraction, ErrBadInput)
+	}
+	derivs, err := p.Derivations.Derivations()
+	if err != nil {
+		return nil, fmt.Errorf("sdpolicy: %w: %w", err, ErrBadInput)
 	}
 	w, err := NewWorkload(p.Workload, p.Scale, p.Seed)
 	if err != nil {
 		return nil, err
 	}
-	if p.MalleableFraction >= 0 {
-		w.SetMalleableFraction(p.MalleableFraction)
-	}
+	w.derivs = derivs
 	return SimulateContext(ctx, w, p.Options)
 }
 

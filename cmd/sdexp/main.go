@@ -9,7 +9,7 @@
 //	fig8    ideal vs worst-case runtime model
 //	fig9    real-run emulation (application model + energy)
 //	ablations  design-choice sweeps (sharing factor, max mates,
-//	           malleable fraction, free-node mixing)
+//	           malleable fraction, free-node mixing, node features)
 //
 // The default -scale 0.1 keeps the full suite in the minutes range;
 // -scale 1 reproduces the paper's full workload sizes (wl4 alone then
@@ -17,11 +17,16 @@
 //
 // -points file.json bypasses the experiment index and streams an
 // arbitrary campaign — a JSON array of {workload, scale, seed,
-// malleable_fraction, options} points, the same wire format as the
-// sdserve /v1/campaign endpoint — as NDJSON on stdout, one line per
-// point in input order, emitted incrementally as points complete.
-// -progress adds point-level progress on stderr; Ctrl-C aborts the
-// campaign mid-simulation.
+// malleable_fraction, derivations, options} points, the same wire
+// format as the sdserve /v1/campaign endpoint — as NDJSON on stdout,
+// one line per point in input order, emitted incrementally as points
+// complete. -progress adds point-level progress on stderr; Ctrl-C
+// aborts the campaign mid-simulation.
+//
+// -cache-dir dir persists the campaign result cache across runs: the
+// engine loads dir/campaign-cache.json on start and spills its memoised
+// results back on exit (even after an error or Ctrl-C), so repeating a
+// full-scale run only simulates the points that changed.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"math"
 	"os"
 	"os/signal"
@@ -55,6 +61,7 @@ func main() {
 		cache    = flag.Int("cache", 512, "campaign result-cache capacity in points (0 disables)")
 		progress = flag.Bool("progress", false, "report campaign progress on stderr")
 		points   = flag.String("points", "", "JSON file holding an array of campaign points; streams NDJSON results to stdout instead of running -exp")
+		cacheDir = flag.String("cache-dir", "", "persist the campaign result cache in this directory across runs")
 	)
 	flag.Parse()
 
@@ -70,12 +77,37 @@ func main() {
 			}
 		})
 	}
+	var cacheFile string
+	if *cacheDir != "" && *cache <= 0 {
+		// With the in-memory cache disabled there is nothing to load
+		// into or spill from; saving anyway would overwrite a warmed
+		// spill file with an empty one.
+		fmt.Fprintln(os.Stderr, "sdexp: ignoring -cache-dir: in-memory cache disabled (-cache 0)")
+	} else if *cacheDir != "" {
+		cacheFile = filepath.Join(*cacheDir, "campaign-cache.json")
+		switch err := engine.LoadCache(cacheFile); {
+		case err == nil:
+		case errors.Is(err, fs.ErrNotExist):
+			// First run: nothing to load yet.
+		default:
+			// A stale or corrupt spill must not kill the run — the cache
+			// is an optimisation. Warn and simulate from scratch.
+			fmt.Fprintln(os.Stderr, "sdexp: ignoring persisted cache:", err)
+		}
+	}
 	runner := &runner{ctx: ctx, engine: engine, scale: *scale, seed: *seed, outDir: *outDir}
 	var err error
 	if *points != "" {
 		err = runner.runPoints(*points)
 	} else {
 		err = runner.run(*exp)
+	}
+	if cacheFile != "" {
+		// Spill whatever simulated, even after a mid-campaign error or
+		// Ctrl-C: completed points are still valid and warm the next run.
+		if serr := engine.SaveCache(cacheFile); serr != nil {
+			fmt.Fprintln(os.Stderr, "sdexp: saving result cache:", serr)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdexp:", err)
@@ -379,6 +411,11 @@ func (r *runner) ablations(w io.Writer) error {
 		return err
 	}
 	all = append(all, fn...)
+	nf, err := r.engine.AblateNodeFeatures(r.ctx, "wl1", r.scale, r.seed, []float64{0, 0.25, 0.5})
+	if err != nil {
+		return err
+	}
+	all = append(all, nf...)
 	pc, err := r.engine.ComparePolicies(r.ctx, "wl1", r.scale, r.seed)
 	if err != nil {
 		return err

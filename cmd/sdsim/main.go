@@ -54,7 +54,14 @@ func main() {
 		os.Exit(1)
 	}
 	if *mallFrac >= 0 {
-		workload.SetMalleableFraction(&spec, *mallFrac)
+		// Variants are derivations over the immutable generated spec, not
+		// in-place mutations — same pipeline as the campaign engine.
+		derived, err := workload.Derive(&spec, []workload.Derivation{workload.MalleableFraction(*mallFrac)})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdsim:", err)
+			os.Exit(1)
+		}
+		spec = *derived
 	}
 
 	cfg, err := buildConfig(*policy, *maxsd, *mdl, *sf, *mates, *depth, *freeMix)

@@ -1,0 +1,320 @@
+package sdpolicy
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sdpolicy/internal/workload"
+)
+
+// resultsEquivalent asserts two results are byte-identical over the
+// wire and carry identical per-job reports (the data behind Daily and
+// the heatmaps).
+func resultsEquivalent(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatalf("%s: results differ:\n%s\n%s", label, aj, bj)
+	}
+	if !reflect.DeepEqual(a.report, b.report) {
+		t.Fatalf("%s: per-job reports differ", label)
+	}
+}
+
+// TestDeriveEquivalentToInPlaceMutation: for all five workloads, the
+// old mutate-in-place pipeline (generate privately, re-flag the spec)
+// and the new derivation pipeline (shared cached base + copy-on-write
+// chain) must produce byte-identical Results.
+func TestDeriveEquivalentToInPlaceMutation(t *testing.T) {
+	scales := map[string]float64{"wl1": 0.05, "wl2": 0.05, "wl3": 0.05, "wl4": 0.02, "wl5": 0.2}
+	opt := Options{Policy: "sd", MaxSlowdown: 10}
+	for _, name := range workload.Names() {
+		scale := scales[name]
+		// Old pipeline: a private spec, mutated in place via the
+		// deprecated shim, simulated directly.
+		spec, err := workload.ByName(name, scale, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workload.SetMalleableFraction(&spec, 0.5)
+		old, err := Simulate(Workload{spec: &spec}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// New pipeline: shared cached base + derivation chain.
+		w, err := NewWorkload(name, scale, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.SetMalleableFraction(0.5)
+		derived, err := Simulate(w, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsEquivalent(t, name, old, derived)
+	}
+}
+
+// TestHeterogeneousDeriveEquivalence covers the node-feature ops: the
+// derivation chain must reproduce what direct spec surgery did before
+// the refactor.
+func TestHeterogeneousDeriveEquivalence(t *testing.T) {
+	const name, scale = "wl1", 0.05
+	var seed uint64 = 5
+	// Old pipeline, replicated on a private spec exactly as the
+	// pre-derivation TagNodes/RequireFeature methods did it.
+	spec, err := workload.ByName(name, scale, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.NodeFeatures = map[int][]string{}
+	for nd := 0; nd < spec.Cluster.Nodes; nd++ {
+		if float64(nd%100) < 50 {
+			spec.NodeFeatures[nd] = append(spec.NodeFeatures[nd], "bigmem")
+		}
+	}
+	for i := range spec.Jobs {
+		if float64(i%100) < 30 {
+			spec.Jobs[i].Features = append(spec.Jobs[i].Features, "bigmem")
+		}
+	}
+	old, err := Simulate(Workload{spec: &spec}, Options{Policy: "sd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := NewWorkload(name, scale, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.TagNodes("bigmem", 0.5)
+	w.RequireFeature("bigmem", 0.3)
+	derived, err := Simulate(w, Options{Policy: "sd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEquivalent(t, "heterogeneous", old, derived)
+
+	// The shared cached base must be untouched by either variant.
+	fresh, err := workload.ByName(name, scale, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := workload.Shared.Get(name, scale, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh.Jobs, cached.Jobs) || cached.NodeFeatures != nil {
+		t.Fatal("deriving variants mutated the shared cached base")
+	}
+}
+
+// TestAblationGeneratesBaseWorkloadOnce is the acceptance criterion of
+// the derivation refactor: a k-variant ablation campaign over one
+// workload generates that workload exactly once — every variant derives
+// from the shared cached base instead of regenerating.
+func TestAblationGeneratesBaseWorkloadOnce(t *testing.T) {
+	// A seed no other test uses, so the generation-count delta below is
+	// exactly this campaign's.
+	const seed uint64 = 987654321
+	_, before := workload.Shared.Stats()
+	engine := NewEngine(4, 64)
+	rows, err := engine.AblateMalleableFraction(context.Background(), "wl5", 0.2, seed,
+		[]float64{0, 0.25, 0.5, 0.75, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	_, after := workload.Shared.Stats()
+	if gens := after - before; gens != 1 {
+		t.Fatalf("ablation generated the base workload %d times, want exactly 1", gens)
+	}
+
+	// Same property for the heterogeneous node-feature ablation, whose
+	// variants stack two derivations per point.
+	_, before = workload.Shared.Stats()
+	if _, err := engine.AblateNodeFeatures(context.Background(), "wl5", 0.2, seed+1,
+		[]float64{0, 0.25, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	_, after = workload.Shared.Stats()
+	if gens := after - before; gens != 1 {
+		t.Fatalf("node-feature ablation generated the base %d times, want exactly 1", gens)
+	}
+}
+
+// TestCanonicalFoldsLegacyFractionIntoChain: the legacy
+// MalleableFraction field and the equivalent leading derivation must
+// canonicalise to the same cache key — one simulation, two spellings.
+func TestCanonicalFoldsLegacyFractionIntoChain(t *testing.T) {
+	legacy := NewPoint("wl5", 0.2, 1, Options{Policy: "sd"})
+	legacy.MalleableFraction = 0.5
+	derived := NewDerivedPoint("wl5", 0.2, 1, Options{Policy: "sd"}, MalleableFractionDerivation(0.5))
+	if legacy.canonical() != derived.canonical() {
+		t.Fatalf("canonical keys differ:\n%+v\n%+v", legacy.canonical(), derived.canonical())
+	}
+
+	engine := NewEngine(2, 16)
+	ctx := context.Background()
+	if _, err := engine.Run(ctx, []Point{legacy}); err != nil {
+		t.Fatal(err)
+	}
+	_, missesBefore := engine.CacheStats()
+	if _, err := engine.Run(ctx, []Point{derived}); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := engine.CacheStats()
+	if misses != missesBefore {
+		t.Fatalf("derived spelling simulated again (misses %d -> %d)", missesBefore, misses)
+	}
+	if hits == 0 {
+		t.Fatal("derived spelling missed the cache")
+	}
+}
+
+func TestPointDerivationsJSONRoundTrip(t *testing.T) {
+	p := NewDerivedPoint("wl1", 0.1, 2, Options{Policy: "sd"},
+		TagNodesDerivation("bigmem", 0.5),
+		RequireFeatureDerivation("bigmem", 0.25))
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Point
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != p {
+		t.Fatalf("round trip:\n%+v\n%+v", back, p)
+	}
+	// The wire form is a valid PointSpec carrying the derivation list.
+	var spec PointSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Derivations) != 2 || spec.Derivations[0].Op != "tag_nodes" {
+		t.Fatalf("wire derivations: %+v", spec.Derivations)
+	}
+	if spec.Point() != p {
+		t.Fatalf("spec.Point():\n%+v\n%+v", spec.Point(), p)
+	}
+}
+
+func TestEngineRejectsInvalidDerivations(t *testing.T) {
+	engine := NewEngine(2, 0)
+	bad := []Point{
+		NewDerivedPoint("wl5", 0.2, 1, Options{}, Derivation{Op: "bogus", Fraction: 0.5}),
+		NewDerivedPoint("wl5", 0.2, 1, Options{}, MalleableFractionDerivation(1.5)),
+		{Workload: "wl5", Scale: 0.2, Seed: 1, MalleableFraction: -1, Derivations: workload.Chain("{broken")},
+	}
+	for _, p := range bad {
+		if _, err := engine.Run(context.Background(), []Point{p}); err == nil {
+			t.Fatalf("invalid point accepted: %+v", p)
+		}
+	}
+	var spec PointSpec
+	if err := json.Unmarshal([]byte(`{"workload":"wl5","derivations":[{"op":"tag_nodes","fraction":0.5}]}`), &spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(); err == nil {
+		t.Fatal("tag_nodes without a feature accepted")
+	}
+}
+
+// TestSaveLoadCacheRoundTrip: the persistent spill must restore results
+// that are byte-identical to freshly simulated ones — including the
+// per-job report behind Daily and the heatmaps — and serve them as pure
+// cache hits.
+func TestSaveLoadCacheRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	points := []Point{
+		NewPoint("wl5", 0.2, 1, Options{Policy: "static"}),
+		NewPoint("wl5", 0.2, 1, Options{Policy: "sd", MaxSlowdown: 10}),
+		NewDerivedPoint("wl5", 0.2, 1, Options{Policy: "sd"},
+			TagNodesDerivation("bigmem", 0.5), RequireFeatureDerivation("bigmem", 0.25)),
+	}
+	warm := NewEngine(2, 32)
+	want, err := warm.Run(ctx, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spill", "campaign-cache.json")
+	if err := warm.SaveCache(path); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := NewEngine(2, 32)
+	if err := cold.LoadCache(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cold.Run(ctx, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := cold.CacheStats(); misses != 0 {
+		t.Fatalf("loaded engine simulated %d points, want 0", misses)
+	}
+	for i := range want {
+		resultsEquivalent(t, points[i].Workload, want[i], got[i])
+	}
+	// The restored report must actually drive the derived artefacts.
+	if len(got[0].Daily()) == 0 {
+		t.Fatal("restored result lost its daily series")
+	}
+	if cells := got[0].HeatmapRatio(got[1], HeatSlowdown); len(cells) == 0 {
+		t.Fatal("restored result lost its heatmap data")
+	}
+}
+
+func TestLoadCacheRejectsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	engine := NewEngine(1, 8)
+	if err := engine.LoadCache(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	for name, content := range map[string]string{
+		"garbage.json":  "{not json",
+		"version.json":  `{"version":999,"entries":[]}`,
+		"noresult.json": `{"version":1,"entries":[{"point":{"workload":"wl5","scale":0.2,"seed":1,"options":{}}}]}`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := writeFile(path, content); err != nil {
+			t.Fatal(err)
+		}
+		if err := engine.LoadCache(path); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// A non-finite fraction must flow from the constructor to a clean
+// ErrBadInput at Run time — not a panic at encode time.
+func TestNonFiniteDerivationFractionRejectedNotPanicking(t *testing.T) {
+	p := NewDerivedPoint("wl5", 0.2, 1, Options{Policy: "sd"}, MalleableFractionDerivation(math.NaN()))
+	_, err := NewEngine(1, 0).Run(context.Background(), []Point{p})
+	if !errors.Is(err, ErrBadInput) {
+		t.Fatalf("err = %v, want ErrBadInput", err)
+	}
+}

@@ -369,6 +369,31 @@ func (e *Engine) AblateMalleableFraction(ctx context.Context, name string, scale
 	})
 }
 
+// AblateNodeFeatures sweeps the constrained-job share on the Default
+// engine.
+func AblateNodeFeatures(name string, scale float64, seed uint64, fracs []float64) ([]AblationRow, error) {
+	return Default().AblateNodeFeatures(context.Background(), name, scale, seed, fracs)
+}
+
+// AblateNodeFeatures sweeps the share of jobs constrained to a node
+// feature on a heterogeneous machine where half the nodes carry it —
+// the constraint-filtering behaviour of Section 3.2.4. Each variant is
+// a plain campaign point whose derivation chain tags the nodes and
+// constrains the jobs, so the whole heterogeneous sweep is expressible
+// over /v1/campaign and shares one generated base workload.
+func (e *Engine) AblateNodeFeatures(ctx context.Context, name string, scale float64, seed uint64, fracs []float64) ([]AblationRow, error) {
+	const feature = "bigmem"
+	values := make([]string, len(fracs))
+	for i, f := range fracs {
+		values[i] = fmt.Sprintf("%.2f", f)
+	}
+	return e.ablate(ctx, "node-features", name, scale, seed, values, func(i int) Point {
+		return NewDerivedPoint(name, scale, seed, Options{Policy: "sd"},
+			TagNodesDerivation(feature, 0.5),
+			RequireFeatureDerivation(feature, fracs[i]))
+	})
+}
+
 // ComparePolicies compares the three policies on the Default engine.
 func ComparePolicies(name string, scale float64, seed uint64) ([]AblationRow, error) {
 	return Default().ComparePolicies(context.Background(), name, scale, seed)

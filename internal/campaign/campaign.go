@@ -120,6 +120,27 @@ func (r *Runner[K, R]) Stats() (hits, misses uint64) {
 	return r.hits.Load(), r.misses.Load()
 }
 
+// CacheSnapshot returns the memoised results, least recently used
+// first, for persistence across processes. With caching disabled it
+// returns empty slices.
+func (r *Runner[K, R]) CacheSnapshot() ([]K, []R) {
+	return r.cache.Snapshot()
+}
+
+// CachePrime inserts precomputed results — typically a CacheSnapshot
+// persisted by an earlier process — into the cache without executing
+// the task function. Entries are added in input order, so passing a
+// snapshot preserves its recency order. Extra values beyond len(keys)
+// are ignored; with caching disabled CachePrime is a no-op.
+func (r *Runner[K, R]) CachePrime(keys []K, vals []R) {
+	for i, k := range keys {
+		if i >= len(vals) {
+			return
+		}
+		r.cache.Add(k, vals[i])
+	}
+}
+
 // Update is one incremental result delivery from RunStream: the result
 // for input position Index, whose key was Key (keys[Index] == Key).
 // Duplicate positions of one key are delivered together, in ascending

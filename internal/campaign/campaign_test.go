@@ -366,3 +366,44 @@ func ExampleRunner_Run() {
 	// simulated wl1/static
 	// simulated wl1/sd10
 }
+
+func TestCacheSnapshotAndPrime(t *testing.T) {
+	var execs atomic.Int64
+	fn := func(ctx context.Context, k string) (string, error) {
+		execs.Add(1)
+		return "simulated " + k, nil
+	}
+	r := New(fn, Config{Workers: 2, CacheSize: 8})
+	if _, err := r.Run(context.Background(), []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	keys, vals := r.CacheSnapshot()
+	if len(keys) != 2 || len(vals) != 2 {
+		t.Fatalf("snapshot %v %v", keys, vals)
+	}
+
+	// A fresh runner primed with the snapshot serves the keys without
+	// executing the task function.
+	fresh := New(fn, Config{Workers: 2, CacheSize: 8})
+	fresh.CachePrime(keys, vals)
+	execs.Store(0)
+	res, err := fresh.Run(context.Background(), []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != "simulated a" || res[1] != "simulated b" {
+		t.Fatalf("primed results %v", res)
+	}
+	if n := execs.Load(); n != 0 {
+		t.Fatalf("%d executions after priming, want 0", n)
+	}
+
+	// Caching disabled: snapshot is empty, priming is a no-op.
+	off := New(fn, Config{Workers: 2, CacheSize: 0})
+	off.CachePrime(keys, vals)
+	if k, v := off.CacheSnapshot(); len(k) != 0 || len(v) != 0 {
+		t.Fatalf("cache-off snapshot %v %v", k, v)
+	}
+	// Mismatched lengths must not panic.
+	fresh.CachePrime([]string{"x", "y"}, []string{"only one"})
+}

@@ -12,8 +12,11 @@ import (
 )
 
 // CampaignRequest is the /v1/campaign body: an arbitrary list of
-// simulation points, streamed back one result per point as each
-// completes.
+// simulation points — optionally carrying derivation chains, which is
+// how the labelled ablation sweeps (malleable fraction, heterogeneous
+// node features) run over HTTP — streamed back one result per point as
+// each completes. Variant points over one base workload share a single
+// cached generation.
 type CampaignRequest struct {
 	Points []sdpolicy.PointSpec `json:"points"`
 	// Format forces the stream encoding: "sse" or "ndjson". Empty

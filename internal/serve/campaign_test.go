@@ -326,3 +326,96 @@ func TestHealthReportsInFlightCampaigns(t *testing.T) {
 		}
 	}
 }
+
+// TestCampaignDerivationsMatchGoAPIAblation is the HTTP half of the
+// derivation refactor's acceptance criterion: a /v1/campaign request
+// whose points carry derivation chains must reproduce the Go-API
+// ablation helper's rows exactly — the labelled sweeps need nothing
+// beyond plain points on the wire.
+func TestCampaignDerivationsMatchGoAPIAblation(t *testing.T) {
+	const workload, scale = "wl5", 0.2
+	const seed = 31
+	fracs := []float64{0, 0.5}
+
+	goEngine := sdpolicy.NewEngine(2, 32)
+	want, err := goEngine.AblateNodeFeatures(context.Background(), workload, scale, seed, fracs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same campaign as plain wire points: the static baseline plus
+	// one derived point per variant, exactly as AblateNodeFeatures
+	// shapes them.
+	points := []sdpolicy.PointSpec{
+		{Workload: workload, Scale: scale, Seed: seed, Options: sdpolicy.Options{Policy: "static"}},
+	}
+	for _, f := range fracs {
+		points = append(points, sdpolicy.PointSpec{
+			Workload: workload, Scale: scale, Seed: seed,
+			Options: sdpolicy.Options{Policy: "sd"},
+			Derivations: []sdpolicy.Derivation{
+				sdpolicy.TagNodesDerivation("bigmem", 0.5),
+				sdpolicy.RequireFeatureDerivation("bigmem", f),
+			},
+		})
+	}
+	body, err := json.Marshal(CampaignRequest{Points: points})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := testServer(t)
+	resp := postJSON(t, srv.URL+"/v1/campaign", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	lines := decodeLines(t, bufio.NewScanner(resp.Body))
+	if len(lines) != len(points)+1 {
+		t.Fatalf("%d lines, want %d results + terminal", len(lines), len(points))
+	}
+	results := make([]*sdpolicy.Result, len(points))
+	for _, l := range lines[:len(points)] {
+		if l.Index == nil || l.Result == nil {
+			t.Fatalf("malformed line %+v", l)
+		}
+		results[*l.Index] = l.Result
+	}
+	base := results[0]
+	for i, f := range fracs {
+		res := results[i+1]
+		row := want[i]
+		if row.Value != fmt.Sprintf("%.2f", f) {
+			t.Fatalf("row %d labels %q, want %.2f", i, row.Value, f)
+		}
+		if got := res.AvgSlowdown / base.AvgSlowdown; got != row.AvgSlowdown {
+			t.Fatalf("frac %v: slowdown %v over HTTP, %v via Go API", f, got, row.AvgSlowdown)
+		}
+		if got := res.AvgResponse / base.AvgResponse; got != row.AvgResponse {
+			t.Fatalf("frac %v: response %v over HTTP, %v via Go API", f, got, row.AvgResponse)
+		}
+		if got := float64(res.Makespan) / float64(base.Makespan); got != row.Makespan {
+			t.Fatalf("frac %v: makespan %v over HTTP, %v via Go API", f, got, row.Makespan)
+		}
+	}
+
+	// Echoed points must round-trip: resubmitting the streamed point
+	// reproduces its result from cache.
+	echoed, err := json.Marshal(CampaignRequest{Points: []sdpolicy.PointSpec{points[1]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2 := postJSON(t, srv.URL+"/v1/campaign", string(echoed))
+	lines2 := decodeLines(t, bufio.NewScanner(resp2.Body))
+	if len(lines2) != 2 || lines2[0].Result == nil {
+		t.Fatalf("resubmit lines: %+v", lines2)
+	}
+	if lines2[0].Result.AvgSlowdown != results[1].AvgSlowdown {
+		t.Fatal("resubmitted derived point diverged")
+	}
+
+	// Invalid derivations are a 400, not a stream.
+	bad := postJSON(t, srv.URL+"/v1/campaign",
+		`{"points":[{"workload":"wl5","derivations":[{"op":"warp","fraction":0.5}],"options":{}}]}`)
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid derivation: status %d", bad.StatusCode)
+	}
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sdpolicy/internal/lru"
+)
+
+// Key identifies one generated preset workload: the inputs that fully
+// determine its Spec (generators are deterministic in them).
+type Key struct {
+	Name  string
+	Scale float64
+	Seed  uint64
+}
+
+// genCall is one in-flight generation that duplicate requests join.
+type genCall struct {
+	done chan struct{}
+	spec *Spec
+	err  error
+}
+
+// Cache memoises generated workload Specs keyed by (name, scale, seed).
+// Specs returned by Get are shared across callers and must be treated
+// as immutable — variants are expressed as Derivations applied via
+// Derive, which copies on write. Concurrent Gets of the same key join a
+// single generation (singleflight), so a k-variant ablation campaign
+// generates its base workload exactly once no matter how many workers
+// request it simultaneously.
+type Cache struct {
+	lru *lru.Cache[Key, *Spec]
+
+	mu       sync.Mutex
+	inflight map[Key]*genCall
+
+	hits atomic.Uint64
+	gens atomic.Uint64
+}
+
+// NewCache returns a cache holding at most capacity generated specs.
+// capacity <= 0 disables retention: every Get still coalesces
+// concurrent duplicates but regenerates once they drain.
+func NewCache(capacity int) *Cache {
+	var l *lru.Cache[Key, *Spec]
+	if capacity > 0 {
+		l = lru.New[Key, *Spec](capacity)
+	}
+	return &Cache{lru: l, inflight: make(map[Key]*genCall)}
+}
+
+// Shared is the process-wide generation cache backing sdpolicy's
+// NewWorkload and every campaign point. Its capacity bounds resident
+// generated workloads, not derived variants (those are per-simulation
+// copies that die with the run).
+var Shared = NewCache(16)
+
+// Get returns the generated Spec for the preset, serving repeats from
+// the cache and coalescing concurrent generations of the same key. The
+// returned Spec is shared: callers must not mutate it (use Derive).
+func (c *Cache) Get(name string, scale float64, seed uint64) (*Spec, error) {
+	k := Key{Name: name, Scale: scale, Seed: seed}
+	if s, ok := c.lru.Get(k); ok {
+		c.hits.Add(1)
+		return s, nil
+	}
+	c.mu.Lock()
+	// Re-check under the lock: a generation that completed between the
+	// miss above and acquiring mu has already left inflight, and only
+	// the LRU knows about it.
+	if s, ok := c.lru.Get(k); ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return s, nil
+	}
+	if call, ok := c.inflight[k]; ok {
+		c.mu.Unlock()
+		<-call.done
+		if call.err == nil {
+			c.hits.Add(1)
+		}
+		return call.spec, call.err
+	}
+	call := &genCall{done: make(chan struct{})}
+	c.inflight[k] = call
+	c.mu.Unlock()
+
+	spec, err := ByName(name, scale, seed)
+	if err == nil {
+		c.gens.Add(1)
+		call.spec = &spec
+		c.lru.Add(k, call.spec)
+	}
+	call.err = err
+	c.mu.Lock()
+	delete(c.inflight, k)
+	c.mu.Unlock()
+	close(call.done)
+	return call.spec, call.err
+}
+
+// Stats returns how many Gets were served from the cache (or joined an
+// in-flight generation) versus how many invoked a generator. The
+// generation count is what derivation-based campaigns drive to one per
+// base workload; tests assert on its deltas.
+func (c *Cache) Stats() (hits, generations uint64) {
+	return c.hits.Load(), c.gens.Load()
+}
+
+// Len returns the number of retained specs.
+func (c *Cache) Len() int { return c.lru.Len() }

@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"sdpolicy/internal/job"
+)
+
+// Derivation ops. A derivation is a declarative, JSON-serialisable
+// variant operation over a generated base Spec: instead of mutating a
+// Spec in place, experiments describe how their variant differs from
+// the base and apply the description copy-on-write with Derive. This is
+// what lets one generated workload back an entire ablation sweep — the
+// base is immutable and shareable (and therefore cacheable), while each
+// variant is a cheap derived copy.
+const (
+	// OpMalleableFraction re-flags jobs so Fraction of them (striped
+	// deterministically by submit order) is malleable and the rest
+	// rigid — the mixed-workload experiments of the ablation suite.
+	OpMalleableFraction = "malleable_fraction"
+	// OpTagNodes attaches Feature to Fraction of the machine's nodes
+	// (striped deterministically), making the machine heterogeneous.
+	OpTagNodes = "tag_nodes"
+	// OpRequireFeature makes Fraction of the jobs (striped
+	// deterministically) require Feature on every allocated node — the
+	// constraint-filtering behaviour of Section 3.2.4.
+	OpRequireFeature = "require_feature"
+)
+
+// Derivation is one variant operation. The zero value is invalid; build
+// derivations with MalleableFraction, TagNodes and RequireFeature, or
+// decode them from their JSON wire form.
+type Derivation struct {
+	Op       string  `json:"op"`
+	Fraction float64 `json:"fraction"`
+	Feature  string  `json:"feature,omitempty"`
+}
+
+// MalleableFraction returns the derivation re-flagging frac of the jobs
+// malleable and the rest rigid.
+func MalleableFraction(frac float64) Derivation {
+	return Derivation{Op: OpMalleableFraction, Fraction: frac}
+}
+
+// TagNodes returns the derivation attaching feature to frac of the
+// machine's nodes.
+func TagNodes(feature string, frac float64) Derivation {
+	return Derivation{Op: OpTagNodes, Fraction: frac, Feature: feature}
+}
+
+// RequireFeature returns the derivation making frac of the jobs require
+// feature on every allocated node.
+func RequireFeature(feature string, frac float64) Derivation {
+	return Derivation{Op: OpRequireFeature, Fraction: frac, Feature: feature}
+}
+
+// Validate reports the first structural problem: an unknown op, a
+// fraction outside [0,1] (including NaN), or a missing/forbidden
+// feature string for the op.
+func (d Derivation) Validate() error {
+	if !(d.Fraction >= 0 && d.Fraction <= 1) {
+		return fmt.Errorf("workload: derivation %s fraction %v out of [0,1]", d.Op, d.Fraction)
+	}
+	switch d.Op {
+	case OpMalleableFraction:
+		if d.Feature != "" {
+			return fmt.Errorf("workload: derivation %s takes no feature (got %q)", d.Op, d.Feature)
+		}
+	case OpTagNodes, OpRequireFeature:
+		if d.Feature == "" {
+			return fmt.Errorf("workload: derivation %s requires a feature", d.Op)
+		}
+	default:
+		return fmt.Errorf("workload: unknown derivation op %q", d.Op)
+	}
+	return nil
+}
+
+// apply executes the derivation on a spec that Derive has already made
+// private: the Jobs slice and NodeFeatures map are copies, so only
+// per-job Features slices still alias the base and are re-cloned on
+// write.
+func (d Derivation) apply(s *Spec) {
+	switch d.Op {
+	case OpMalleableFraction:
+		for i := range s.Jobs {
+			if float64(i%100) < d.Fraction*100 {
+				s.Jobs[i].Kind = job.Malleable
+			} else {
+				s.Jobs[i].Kind = job.Rigid
+			}
+		}
+	case OpTagNodes:
+		if s.NodeFeatures == nil {
+			s.NodeFeatures = map[int][]string{}
+		}
+		for nd := 0; nd < s.Cluster.Nodes; nd++ {
+			if float64(nd%100) < d.Fraction*100 {
+				s.NodeFeatures[nd] = append(s.NodeFeatures[nd], d.Feature)
+			}
+		}
+	case OpRequireFeature:
+		for i := range s.Jobs {
+			if float64(i%100) < d.Fraction*100 {
+				feats := make([]string, 0, len(s.Jobs[i].Features)+1)
+				feats = append(feats, s.Jobs[i].Features...)
+				s.Jobs[i].Features = append(feats, d.Feature)
+			}
+		}
+	}
+}
+
+// Derive returns a Spec with the derivations applied in order,
+// copy-on-write: the base — which may be shared process-wide through
+// the generation cache — is never modified, and neither are any slices
+// or maps it owns. An empty chain returns the base itself; callers must
+// treat every Spec obtained from Derive or Cache.Get as immutable.
+func Derive(base *Spec, derivs []Derivation) (*Spec, error) {
+	for i, d := range derivs {
+		if err := d.Validate(); err != nil {
+			return nil, fmt.Errorf("derivation %d: %w", i, err)
+		}
+	}
+	if len(derivs) == 0 {
+		return base, nil
+	}
+	s := *base
+	s.Jobs = append([]job.Job(nil), base.Jobs...)
+	if base.NodeFeatures != nil {
+		nf := make(map[int][]string, len(base.NodeFeatures))
+		for nd, feats := range base.NodeFeatures {
+			nf[nd] = append([]string(nil), feats...)
+		}
+		s.NodeFeatures = nf
+	}
+	for i := range derivs {
+		derivs[i].apply(&s)
+	}
+	return &s, nil
+}
+
+// Chain is the canonical string encoding of a derivation list: the
+// compact JSON of its derivations, or "" for the empty chain. Being a
+// plain comparable string, a Chain can sit directly inside cache keys
+// (e.g. the campaign engine's Point) while still round-tripping loss-
+// lessly to the wire form. Order is semantic: chains that apply the
+// same derivations in a different order are different chains.
+type Chain string
+
+// NewChain validates the derivations and encodes them canonically.
+func NewChain(derivs ...Derivation) (Chain, error) {
+	for i, d := range derivs {
+		if err := d.Validate(); err != nil {
+			return "", fmt.Errorf("derivation %d: %w", i, err)
+		}
+	}
+	return EncodeChain(derivs), nil
+}
+
+// EncodeChain encodes without validating — the encoding itself never
+// fails, so wire layers can carry an invalid chain to the layer that
+// reports errors (Chain.Derivations / Derive validate on use). JSON
+// cannot represent non-finite numbers, so a NaN or Inf fraction —
+// which no valid derivation carries — is encoded as the equally
+// invalid -1: the chain still round-trips to a derivation that
+// Validate rejects instead of failing to encode.
+func EncodeChain(derivs []Derivation) Chain {
+	if len(derivs) == 0 {
+		return ""
+	}
+	for i := range derivs {
+		if math.IsNaN(derivs[i].Fraction) || math.IsInf(derivs[i].Fraction, 0) {
+			sane := append([]Derivation(nil), derivs...)
+			for j := range sane {
+				if math.IsNaN(sane[j].Fraction) || math.IsInf(sane[j].Fraction, 0) {
+					sane[j].Fraction = -1
+				}
+			}
+			derivs = sane
+			break
+		}
+	}
+	b, err := json.Marshal(derivs)
+	if err != nil {
+		// Derivation now holds only finite floats and strings.
+		panic(fmt.Sprintf("workload: encoding chain: %v", err))
+	}
+	return Chain(b)
+}
+
+// Derivations decodes the chain back into its derivation list; the
+// empty chain decodes to nil.
+func (c Chain) Derivations() ([]Derivation, error) {
+	if c == "" {
+		return nil, nil
+	}
+	var derivs []Derivation
+	if err := json.Unmarshal([]byte(c), &derivs); err != nil {
+		return nil, fmt.Errorf("workload: bad derivation chain %q: %w", string(c), err)
+	}
+	return derivs, nil
+}
+
+// Prepend returns the chain with d applied before every existing
+// derivation.
+func (c Chain) Prepend(d Derivation) (Chain, error) {
+	rest, err := c.Derivations()
+	if err != nil {
+		return "", err
+	}
+	return EncodeChain(append([]Derivation{d}, rest...)), nil
+}
+
+// Empty reports whether the chain has no derivations.
+func (c Chain) Empty() bool { return c == "" }

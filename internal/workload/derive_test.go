@@ -1,0 +1,306 @@
+package workload
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"sdpolicy/internal/job"
+)
+
+func TestDerivationValidate(t *testing.T) {
+	valid := []Derivation{
+		MalleableFraction(0),
+		MalleableFraction(1),
+		TagNodes("bigmem", 0.5),
+		RequireFeature("bigmem", 0.25),
+	}
+	for _, d := range valid {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", d, err)
+		}
+	}
+	invalid := []Derivation{
+		{},
+		{Op: "shrink_jobs", Fraction: 0.5},
+		MalleableFraction(-0.1),
+		MalleableFraction(1.5),
+		MalleableFraction(math.NaN()),
+		TagNodes("", 0.5),
+		RequireFeature("", 0.5),
+		{Op: OpMalleableFraction, Fraction: 0.5, Feature: "bigmem"},
+	}
+	for _, d := range invalid {
+		if err := d.Validate(); err == nil {
+			t.Errorf("%+v accepted", d)
+		}
+	}
+}
+
+// TestDeriveDoesNotMutateBase is the copy-on-write contract: deriving a
+// variant must leave the shared base — including every slice and map it
+// owns — bit-identical, or the generation cache would leak one
+// variant's edits into every later consumer of the base.
+func TestDeriveDoesNotMutateBase(t *testing.T) {
+	// wl1 at this scale has a 102-node machine, so the %100 striping
+	// actually distinguishes tagged from untagged nodes.
+	base := WL1(0.1, 1)
+	// Give the base pre-existing features so aliasing on the inner
+	// slices is exercised, not just on the containers.
+	base.NodeFeatures = map[int][]string{0: {"gpu"}}
+	base.Jobs[0].Features = []string{"gpu"}
+	snapshot, err := json.Marshal(&base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	derived, err := Derive(&base, []Derivation{
+		MalleableFraction(0.5),
+		TagNodes("bigmem", 0.5),
+		RequireFeature("bigmem", 0.3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := json.Marshal(&base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(snapshot) != string(after) {
+		t.Fatal("Derive mutated the base spec")
+	}
+	if derived == &base {
+		t.Fatal("non-empty chain returned the base itself")
+	}
+	if err := derived.Validate(); err != nil {
+		t.Fatalf("derived spec invalid: %v", err)
+	}
+
+	// The variant must actually differ in the derived direction.
+	mall := 0
+	constrained := 0
+	for i := range derived.Jobs {
+		if derived.Jobs[i].Kind == job.Malleable {
+			mall++
+		}
+		for _, f := range derived.Jobs[i].Features {
+			if f == "bigmem" {
+				constrained++
+				break
+			}
+		}
+	}
+	frac := float64(mall) / float64(len(derived.Jobs))
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("derived malleable fraction %.2f, want 0.5", frac)
+	}
+	if cfrac := float64(constrained) / float64(len(derived.Jobs)); math.Abs(cfrac-0.3) > 0.05 {
+		t.Fatalf("constrained fraction %.2f, want 0.3", cfrac)
+	}
+	tagged := 0
+	for _, feats := range derived.NodeFeatures {
+		for _, f := range feats {
+			if f == "bigmem" {
+				tagged++
+				break
+			}
+		}
+	}
+	if tfrac := float64(tagged) / float64(derived.Cluster.Nodes); math.Abs(tfrac-0.5) > 0.06 {
+		t.Fatalf("tagged node fraction %.2f, want 0.5", tfrac)
+	}
+	// Pre-existing node features must survive on the derived copy.
+	if got := derived.NodeFeatures[0]; len(got) == 0 || got[0] != "gpu" {
+		t.Fatalf("derived lost pre-existing node features: %v", got)
+	}
+}
+
+func TestDeriveEmptyChainSharesBase(t *testing.T) {
+	base := WL1(0.05, 1)
+	derived, err := Derive(&base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived != &base {
+		t.Fatal("empty chain should return the base spec unchanged")
+	}
+}
+
+func TestDeriveRejectsInvalidDerivations(t *testing.T) {
+	base := WL1(0.05, 1)
+	if _, err := Derive(&base, []Derivation{MalleableFraction(2)}); err == nil {
+		t.Fatal("out-of-range fraction accepted")
+	}
+	if _, err := Derive(&base, []Derivation{{Op: "bogus"}}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+// TestDeriveMatchesInPlaceMutation: the derivation pipeline and the
+// deprecated in-place mutator must flag exactly the same jobs.
+func TestDeriveMatchesInPlaceMutation(t *testing.T) {
+	for _, name := range Names() {
+		base, err := ByName(name, 0.05, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		derived, err := Derive(&base, []Derivation{MalleableFraction(0.37)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutated, err := ByName(name, 0.05, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		SetMalleableFraction(&mutated, 0.37)
+		if !reflect.DeepEqual(derived.Jobs, mutated.Jobs) {
+			t.Fatalf("%s: derived jobs differ from in-place mutation", name)
+		}
+	}
+}
+
+func TestChainRoundTrip(t *testing.T) {
+	derivs := []Derivation{
+		MalleableFraction(0.5),
+		TagNodes("bigmem", 0.5),
+		RequireFeature("bigmem", 0.25),
+	}
+	chain, err := NewChain(derivs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := chain.Derivations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(derivs, back) {
+		t.Fatalf("round trip: %+v != %+v", back, derivs)
+	}
+	// Canonical: re-encoding the decoded list reproduces the chain.
+	if re := EncodeChain(back); re != chain {
+		t.Fatalf("re-encode %q != %q", re, chain)
+	}
+	empty, err := NewChain()
+	if err != nil || !empty.Empty() {
+		t.Fatalf("empty chain: %q, %v", empty, err)
+	}
+	if ds, err := empty.Derivations(); err != nil || ds != nil {
+		t.Fatalf("empty chain decode: %v, %v", ds, err)
+	}
+	if _, err := NewChain(MalleableFraction(7)); err == nil {
+		t.Fatal("invalid derivation encoded")
+	}
+	if _, err := Chain("{not json").Derivations(); err == nil {
+		t.Fatal("malformed chain decoded")
+	}
+	pre, err := chain.Prepend(MalleableFraction(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := pre.Derivations()
+	if err != nil || len(ds) != 4 || ds[0].Fraction != 1 {
+		t.Fatalf("prepend: %+v, %v", ds, err)
+	}
+}
+
+func TestCacheGeneratesOnceAndShares(t *testing.T) {
+	c := NewCache(8)
+	a, err := c.Get("wl5", 0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Get("wl5", 0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("repeated Get returned distinct specs")
+	}
+	if hits, gens := c.Stats(); hits != 1 || gens != 1 {
+		t.Fatalf("stats hits=%d gens=%d, want 1/1", hits, gens)
+	}
+	// A different key generates again.
+	if _, err := c.Get("wl5", 0.1, 43); err != nil {
+		t.Fatal(err)
+	}
+	if _, gens := c.Stats(); gens != 2 {
+		t.Fatalf("generations %d, want 2", gens)
+	}
+	if _, err := c.Get("nope", 0.1, 1); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if _, gens := c.Stats(); gens != 2 {
+		t.Fatal("failed Get counted as a generation")
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(4)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	specs := make([]*Spec, goroutines)
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			s, err := c.Get("wl3", 0.05, 7)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			specs[g] = s
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if specs[g] != specs[0] {
+			t.Fatal("concurrent Gets returned distinct specs")
+		}
+	}
+	if _, gens := c.Stats(); gens != 1 {
+		t.Fatalf("%d generations for one key under contention, want 1", gens)
+	}
+}
+
+func TestCacheUncappedRetention(t *testing.T) {
+	c := NewCache(0) // retention disabled
+	if _, err := c.Get("wl5", 0.05, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("wl5", 0.05, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, gens := c.Stats(); gens != 2 {
+		t.Fatalf("retention-free cache generated %d times, want 2", gens)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("retention-free cache holds %d entries", c.Len())
+	}
+}
+
+// EncodeChain must survive non-finite fractions (JSON cannot carry
+// them): the chain round-trips to an invalid derivation that Validate
+// rejects, instead of panicking inside a constructor.
+func TestEncodeChainNonFiniteFraction(t *testing.T) {
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		chain := EncodeChain([]Derivation{MalleableFraction(f), TagNodes("bigmem", 0.5)})
+		derivs, err := chain.Derivations()
+		if err != nil {
+			t.Fatalf("fraction %v: chain undecodable: %v", f, err)
+		}
+		if len(derivs) != 2 {
+			t.Fatalf("fraction %v: %d derivations", f, len(derivs))
+		}
+		if derivs[0].Validate() == nil {
+			t.Fatalf("fraction %v encoded to a valid derivation %+v", f, derivs[0])
+		}
+		if derivs[1] != TagNodes("bigmem", 0.5) {
+			t.Fatalf("fraction %v: finite sibling rewritten: %+v", f, derivs[1])
+		}
+	}
+}

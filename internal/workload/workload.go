@@ -363,17 +363,17 @@ func Names() []string { return []string{"wl1", "wl2", "wl3", "wl4", "wl5"} }
 // SetMalleableFraction re-flags jobs so the given fraction (by submit
 // order striping, deterministic) is malleable and the rest rigid — the
 // mixed-workload experiments of the ablation suite.
+//
+// Deprecated: SetMalleableFraction mutates the Spec in place, which is
+// incompatible with specs shared through the generation Cache. Express
+// the variant as MalleableFraction(frac) applied via Derive instead;
+// this shim remains for callers that own a private Spec.
 func SetMalleableFraction(s *Spec, frac float64) {
-	if frac < 0 || frac > 1 {
-		panic(fmt.Sprintf("workload: fraction %v out of [0,1]", frac))
+	d := MalleableFraction(frac)
+	if err := d.Validate(); err != nil {
+		panic(err.Error())
 	}
-	for i := range s.Jobs {
-		if float64(i%100) < frac*100 {
-			s.Jobs[i].Kind = job.Malleable
-		} else {
-			s.Jobs[i].Kind = job.Rigid
-		}
-	}
+	d.apply(s)
 }
 
 // AppCounts tallies jobs per application class, for the Table 2 report.

@@ -1,0 +1,130 @@
+package sdpolicy
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"sdpolicy/internal/metrics"
+)
+
+// cacheFileVersion guards the spill format: bump it when the canonical
+// point encoding or the persisted result shape changes incompatibly, so
+// stale files are refused instead of priming wrong results.
+const cacheFileVersion = 1
+
+// cacheFile is the on-disk form of a campaign result cache: one entry
+// per canonical point, least recently used first, so loading in order
+// reproduces the LRU recency order.
+type cacheFile struct {
+	Version int              `json:"version"`
+	Entries []cacheFileEntry `json:"entries"`
+}
+
+// cacheFileEntry persists one memoised simulation. The point is stored
+// in its wire form (the same JSON a /v1/campaign client sends); the
+// per-job report — which Daily and the heatmaps need but the Result's
+// public JSON omits — rides alongside so a restored Result is fully
+// equivalent to a freshly simulated one.
+type cacheFileEntry struct {
+	Point  Point          `json:"point"`
+	Result *Result        `json:"result"`
+	Report metrics.Report `json:"report"`
+}
+
+// wire returns the point with every encoding JSON can carry: the
+// canonical +Inf MaxSlowdown maps back to the 0 wire default (and is
+// restored by canonical() on load).
+func (p Point) wire() Point {
+	if math.IsInf(p.Options.MaxSlowdown, 1) {
+		p.Options.MaxSlowdown = 0
+	}
+	return p
+}
+
+// SaveCache writes the engine's memoised campaign results to path as
+// JSON keyed by canonical point, creating parent directories and
+// replacing the file atomically (temp file + rename), so repeated
+// full-scale runs survive process restarts. An engine whose cache is
+// disabled writes an empty file.
+func (e *Engine) SaveCache(path string) error {
+	keys, vals := e.runner.CacheSnapshot()
+	file := cacheFile{Version: cacheFileVersion, Entries: make([]cacheFileEntry, 0, len(keys))}
+	for i, k := range keys {
+		if vals[i] == nil {
+			continue
+		}
+		file.Entries = append(file.Entries, cacheFileEntry{
+			Point:  k.wire(),
+			Result: vals[i],
+			Report: vals[i].report,
+		})
+	}
+	data, err := json.Marshal(file)
+	if err != nil {
+		return fmt.Errorf("sdpolicy: encoding result cache: %w", err)
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// LoadCache primes the engine's result cache from a file written by
+// SaveCache: every persisted point is re-canonicalised and inserted, so
+// a subsequent campaign over the same points is pure cache hits. The
+// file's entries must be valid — a version mismatch, malformed point or
+// missing result aborts the load (tagged ErrBadInput) without priming
+// anything, rather than silently serving partial state. Loading into an
+// engine whose cache is disabled is a no-op.
+func (e *Engine) LoadCache(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var file cacheFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return fmt.Errorf("sdpolicy: %s: %w: %w", path, err, ErrBadInput)
+	}
+	if file.Version != cacheFileVersion {
+		return fmt.Errorf("sdpolicy: %s: cache version %d, want %d: %w",
+			path, file.Version, cacheFileVersion, ErrBadInput)
+	}
+	keys := make([]Point, 0, len(file.Entries))
+	vals := make([]*Result, 0, len(file.Entries))
+	for i, ent := range file.Entries {
+		if ent.Result == nil {
+			return fmt.Errorf("sdpolicy: %s: entry %d has no result: %w", path, i, ErrBadInput)
+		}
+		if err := ent.Point.validate(); err != nil {
+			return fmt.Errorf("sdpolicy: %s: entry %d: %w", path, i, err)
+		}
+		res := *ent.Result
+		res.report = ent.Report
+		keys = append(keys, ent.Point.canonical())
+		vals = append(vals, &res)
+	}
+	e.runner.CachePrime(keys, vals)
+	return nil
+}

@@ -38,6 +38,18 @@
 // DeriveSeed expands one base seed into independent per-replicate
 // seeds for multi-seed campaigns.
 //
+// # Workloads and derivations
+//
+// Generated workloads are immutable and cached process-wide keyed by
+// (preset, scale, seed); a Workload is a thin handle over the shared
+// base plus a chain of Derivations — declarative, JSON-serialisable
+// variant operations (SetMalleableFraction, TagNodes, RequireFeature)
+// applied copy-on-write at simulation time. Campaign Points carry the
+// same chains (NewDerivedPoint), so a k-variant ablation generates its
+// base workload exactly once and every labelled sweep is addressable
+// as plain points over HTTP. Engine.SaveCache/LoadCache spill the
+// result cache to disk so repeated campaigns survive restarts.
+//
 // cmd/sdserve exposes the same engine over HTTP (POST /v1/simulate,
 // POST /v1/sweep, and the streaming POST /v1/campaign), serving
 // concurrent clients from one shared result cache.
@@ -66,24 +78,118 @@ import (
 // maps it to HTTP 400.
 var ErrBadInput = errors.New("invalid input")
 
-// Workload is a machine description plus a job stream, ready to simulate.
+// Derivation is a declarative, JSON-serialisable workload variant
+// operation (re-flagging a malleable fraction, tagging nodes with a
+// feature, constraining jobs to a feature). A Workload is a thin handle
+// over an immutable generated base Spec plus a chain of derivations;
+// simulating resolves the chain copy-on-write, so any number of
+// variants share one generated base. Build values with
+// MalleableFractionDerivation, TagNodesDerivation and
+// RequireFeatureDerivation, or decode them from the wire form
+// ({"op": ..., "fraction": ..., "feature": ...}).
+type Derivation = workload.Derivation
+
+// MalleableFractionDerivation re-flags frac of the jobs (striped
+// deterministically by submit order) malleable and the rest rigid.
+func MalleableFractionDerivation(frac float64) Derivation {
+	return workload.MalleableFraction(frac)
+}
+
+// TagNodesDerivation attaches feature to frac of the machine's nodes
+// (striped deterministically), making the machine heterogeneous.
+func TagNodesDerivation(feature string, frac float64) Derivation {
+	return workload.TagNodes(feature, frac)
+}
+
+// RequireFeatureDerivation makes frac of the jobs (striped
+// deterministically) require feature on every allocated node — the
+// constraint-filtering behaviour of Section 3.2.4.
+func RequireFeatureDerivation(feature string, frac float64) Derivation {
+	return workload.RequireFeature(feature, frac)
+}
+
+// Workload is a machine description plus a job stream, ready to
+// simulate. It is a handle: an immutable base Spec — shared with every
+// other handle of the same (preset, scale, seed) through a process-wide
+// generation cache — plus a private derivation chain describing how
+// this variant differs. The SetMalleableFraction / TagNodes /
+// RequireFeature methods append derivations instead of mutating the
+// base, so deriving is O(chain) until simulation resolves the variant
+// copy-on-write.
 type Workload struct {
-	spec workload.Spec
+	spec   *workload.Spec // shared immutable base; nil only for the zero value
+	derivs []workload.Derivation
 }
 
 // NewWorkload builds one of the paper's Table 1 workload presets
 // ("wl1".."wl5"). scale in (0, 1] shrinks the machine and the job count
 // proportionally for faster experiments; seed drives the deterministic
-// generator.
+// generator. Repeated calls with equal arguments share one generated
+// Spec through the process-wide generation cache — generation runs
+// once, concurrent callers coalesce — which is what makes k-variant
+// ablation campaigns cost one generation instead of k.
 func NewWorkload(name string, scale float64, seed uint64) (Workload, error) {
 	if scale <= 0 || scale > 1 {
 		return Workload{}, fmt.Errorf("sdpolicy: scale %v out of (0,1]: %w", scale, ErrBadInput)
 	}
-	spec, err := workload.ByName(name, scale, seed)
+	spec, err := workload.Shared.Get(name, scale, seed)
 	if err != nil {
 		return Workload{}, fmt.Errorf("%w: %w", err, ErrBadInput)
 	}
 	return Workload{spec: spec}, nil
+}
+
+// Derive returns a copy of the workload with the derivations appended
+// to its chain, leaving the receiver untouched. It errors (ErrBadInput)
+// on structurally invalid derivations; the panicking mutator methods
+// remain for the common literal-argument cases.
+func (w Workload) Derive(derivs ...Derivation) (Workload, error) {
+	for _, d := range derivs {
+		if err := d.Validate(); err != nil {
+			return Workload{}, fmt.Errorf("sdpolicy: %w: %w", err, ErrBadInput)
+		}
+	}
+	chain := make([]workload.Derivation, 0, len(w.derivs)+len(derivs))
+	chain = append(chain, w.derivs...)
+	chain = append(chain, derivs...)
+	return Workload{spec: w.spec, derivs: chain}, nil
+}
+
+// Derivations returns the handle's derivation chain.
+func (w Workload) Derivations() []Derivation {
+	return append([]Derivation(nil), w.derivs...)
+}
+
+// append records one validated derivation, copying the chain so sibling
+// handles sharing a backing array never observe each other's appends.
+func (w *Workload) append(d workload.Derivation) {
+	if err := d.Validate(); err != nil {
+		panic(err.Error())
+	}
+	chain := make([]workload.Derivation, len(w.derivs), len(w.derivs)+1)
+	copy(chain, w.derivs)
+	w.derivs = append(chain, d)
+}
+
+// base returns the spec the derivation chain resolves against; the zero
+// Workload resolves against an empty spec (and fails validation at
+// simulation time, as it always has).
+func (w Workload) base() *workload.Spec {
+	if w.spec == nil {
+		return &workload.Spec{}
+	}
+	return w.spec
+}
+
+// resolve materialises the variant: the shared base with the derivation
+// chain applied copy-on-write. With an empty chain this is the base
+// itself — no copy.
+func (w Workload) resolve() (*workload.Spec, error) {
+	spec, err := workload.Derive(w.base(), w.derivs)
+	if err != nil {
+		return nil, fmt.Errorf("sdpolicy: %w: %w", err, ErrBadInput)
+	}
+	return spec, nil
 }
 
 // LoadSWF reads a Standard Workload Format trace (e.g. the real RICC or
@@ -102,80 +208,72 @@ func LoadSWF(path string, nodes, sockets, coresPerSocket int) (Workload, error) 
 	cfg := cluster.Config{Nodes: nodes, Sockets: sockets, CoresPerSocket: coresPerSocket}
 	jobs := swf.ToJobs(recs, cfg.CoresPerNode(), job.Malleable)
 	workload.SortBySubmit(jobs)
-	w := Workload{spec: workload.Spec{Name: path, Cluster: cfg, Jobs: jobs}}
-	if err := w.spec.Validate(); err != nil {
+	spec := &workload.Spec{Name: path, Cluster: cfg, Jobs: jobs}
+	if err := spec.Validate(); err != nil {
 		return Workload{}, err
 	}
-	return w, nil
+	return Workload{spec: spec}, nil
 }
 
 // Name returns the workload identifier.
-func (w Workload) Name() string { return w.spec.Name }
+func (w Workload) Name() string { return w.base().Name }
 
-// Jobs returns the number of jobs.
-func (w Workload) Jobs() int { return len(w.spec.Jobs) }
+// Jobs returns the number of jobs (invariant under derivations).
+func (w Workload) Jobs() int { return len(w.base().Jobs) }
 
 // Nodes returns the machine's node count.
-func (w Workload) Nodes() int { return w.spec.Cluster.Nodes }
+func (w Workload) Nodes() int { return w.base().Cluster.Nodes }
 
 // Cores returns the machine's total core count.
-func (w Workload) Cores() int { return w.spec.Cluster.TotalCores() }
+func (w Workload) Cores() int { return w.base().Cluster.TotalCores() }
 
 // MaxJobNodes returns the largest node request in the stream.
 func (w Workload) MaxJobNodes() int {
 	m := 0
-	for i := range w.spec.Jobs {
-		if w.spec.Jobs[i].ReqNodes > m {
-			m = w.spec.Jobs[i].ReqNodes
+	spec := w.base()
+	for i := range spec.Jobs {
+		if spec.Jobs[i].ReqNodes > m {
+			m = spec.Jobs[i].ReqNodes
 		}
 	}
 	return m
 }
 
 // SetMalleableFraction re-flags the given fraction of jobs as malleable
-// and the rest rigid (mixed-workload experiments).
+// and the rest rigid (mixed-workload experiments). It records a
+// malleable_fraction derivation on this handle; the shared base spec is
+// never modified. Panics on a fraction outside [0,1].
 func (w *Workload) SetMalleableFraction(frac float64) {
-	workload.SetMalleableFraction(&w.spec, frac)
+	w.append(workload.MalleableFraction(frac))
 }
 
 // TagNodes attaches a feature string (architecture, memory class,
 // interconnect, ...) to the given fraction of nodes, making the machine
-// heterogeneous. Nodes are tagged deterministically by striping.
+// heterogeneous. Nodes are tagged deterministically by striping. It
+// records a tag_nodes derivation on this handle; the shared base spec
+// is never modified. Panics on a fraction outside [0,1].
 func (w *Workload) TagNodes(feature string, frac float64) {
-	if frac < 0 || frac > 1 {
-		panic(fmt.Sprintf("sdpolicy: fraction %v out of [0,1]", frac))
-	}
-	if w.spec.NodeFeatures == nil {
-		w.spec.NodeFeatures = map[int][]string{}
-	}
-	for nd := 0; nd < w.spec.Cluster.Nodes; nd++ {
-		if float64(nd%100) < frac*100 {
-			w.spec.NodeFeatures[nd] = append(w.spec.NodeFeatures[nd], feature)
-		}
-	}
+	w.append(workload.TagNodes(feature, frac))
 }
 
 // RequireFeature makes the given fraction of jobs (striped
-// deterministically) require the feature on every allocated node —
-// the constraint-filtering behaviour of Section 3.2.4.
+// deterministically) require the feature on every allocated node — the
+// constraint-filtering behaviour of Section 3.2.4. It records a
+// require_feature derivation on this handle; the shared base spec is
+// never modified. Panics on a fraction outside [0,1].
 func (w *Workload) RequireFeature(feature string, frac float64) {
-	if frac < 0 || frac > 1 {
-		panic(fmt.Sprintf("sdpolicy: fraction %v out of [0,1]", frac))
-	}
-	for i := range w.spec.Jobs {
-		if float64(i%100) < frac*100 {
-			w.spec.Jobs[i].Features = append(w.spec.Jobs[i].Features, feature)
-		}
-	}
+	w.append(workload.RequireFeature(feature, frac))
 }
 
 // AppShares returns the fraction of jobs per application class name —
-// the Table 2 composition for the real-run workload.
+// the Table 2 composition for the real-run workload. (Derivations never
+// change application classes, so the base is authoritative.)
 func (w Workload) AppShares() map[string]float64 {
-	counts := workload.AppCounts(&w.spec)
+	spec := w.base()
+	counts := workload.AppCounts(spec)
 	out := make(map[string]float64, len(counts))
 	for app, n := range counts {
-		out[app.String()] = float64(n) / float64(len(w.spec.Jobs))
+		out[app.String()] = float64(n) / float64(len(spec.Jobs))
 	}
 	return out
 }
@@ -378,7 +476,11 @@ func SimulateContext(ctx context.Context, w Workload, opt Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	res, err := sched.RunContext(ctx, w.spec, cfg)
+	spec, err := w.resolve()
+	if err != nil {
+		return nil, err
+	}
+	res, err := sched.RunContext(ctx, *spec, cfg)
 	if err != nil {
 		return nil, err
 	}
