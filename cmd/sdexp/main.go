@@ -26,7 +26,26 @@
 // -cache-dir dir persists the campaign result cache across runs: the
 // engine loads dir/campaign-cache.json on start and spills its memoised
 // results back on exit (even after an error or Ctrl-C), so repeating a
-// full-scale run only simulates the points that changed.
+// full-scale run only simulates the points that changed. Spills merge:
+// concurrent writers sharing one directory (a job array) each
+// contribute their entries instead of clobbering each other.
+//
+// Distributed runs compose three flags on top of -points:
+//
+//   - -shard i/n (1-based) runs only the i-th of n deterministic
+//     shards of the campaign — clusterless fan-out via a job array.
+//     Output lines keep their original campaign indices, and shard
+//     assignment co-locates canonical duplicates, so n shard runs
+//     merged by index (or via their -cache-dir spills) are
+//     byte-identical to one full run.
+//   - -merge-cache dir1,dir2,... merges per-shard cache spills into
+//     the engine cache before running — the reduce step. Combine with
+//     -cache-dir to write the merged spill, and -exp none to do only
+//     that; conflicting entries (evidence of broken determinism)
+//     resolve deterministically and are reported on stderr.
+//   - -server URL sends the campaign to a running sdserve instance
+//     (worker or coordinator) instead of simulating in-process, with
+//     the same input-ordered, byte-identical NDJSON output.
 package main
 
 import (
@@ -43,27 +62,36 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"sdpolicy"
+	"sdpolicy/internal/serve"
 	"sdpolicy/internal/viz"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all | table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | ablations")
-		scale    = flag.Float64("scale", 0.1, "workload scale factor (0,1]")
-		seed     = flag.Uint64("seed", 1, "generator seed")
-		outDir   = flag.String("out", "", "also write each experiment's output under this directory")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign worker-pool size (1 = sequential)")
-		cache    = flag.Int("cache", 512, "campaign result-cache capacity in points (0 disables)")
-		progress = flag.Bool("progress", false, "report campaign progress on stderr")
-		points   = flag.String("points", "", "JSON file holding an array of campaign points; streams NDJSON results to stdout instead of running -exp")
-		cacheDir = flag.String("cache-dir", "", "persist the campaign result cache in this directory across runs")
+		exp        = flag.String("exp", "all", "experiment: all | table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | ablations | none (cache maintenance only)")
+		scale      = flag.Float64("scale", 0.1, "workload scale factor (0,1]")
+		seed       = flag.Uint64("seed", 1, "generator seed")
+		outDir     = flag.String("out", "", "also write each experiment's output under this directory")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign worker-pool size (1 = sequential)")
+		cache      = flag.Int("cache", 512, "campaign result-cache capacity in points (0 disables)")
+		progress   = flag.Bool("progress", false, "report campaign progress on stderr")
+		points     = flag.String("points", "", "JSON file holding an array of campaign points; streams NDJSON results to stdout instead of running -exp")
+		cacheDir   = flag.String("cache-dir", "", "persist the campaign result cache in this directory across runs")
+		shard      = flag.String("shard", "", "with -points: run only shard i/n (1-based, e.g. 2/3) of the campaign; lines keep their original indices")
+		mergeCache = flag.String("merge-cache", "", "comma-separated cache dirs (or spill files) merged into the engine cache before running; with -cache-dir the merged cache is spilled back")
+		server     = flag.String("server", "", "with -points: base URL of an sdserve worker or coordinator that runs the campaign instead of this process")
 	)
 	flag.Parse()
+	if *points == "" && (*shard != "" || *server != "") {
+		fmt.Fprintln(os.Stderr, "sdexp: -shard and -server require -points")
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -83,8 +111,13 @@ func main() {
 		// into or spill from; saving anyway would overwrite a warmed
 		// spill file with an empty one.
 		fmt.Fprintln(os.Stderr, "sdexp: ignoring -cache-dir: in-memory cache disabled (-cache 0)")
+	} else if *cacheDir != "" && *server != "" {
+		// Remote results never enter the local cache, so loading and
+		// re-spilling the (possibly multi-MB) file here would be pure
+		// dead weight on the proxy path.
+		fmt.Fprintln(os.Stderr, "sdexp: ignoring -cache-dir: campaign runs remotely (-server)")
 	} else if *cacheDir != "" {
-		cacheFile = filepath.Join(*cacheDir, "campaign-cache.json")
+		cacheFile = filepath.Join(*cacheDir, sdpolicy.CacheFileName)
 		switch err := engine.LoadCache(cacheFile); {
 		case err == nil:
 		case errors.Is(err, fs.ErrNotExist):
@@ -95,17 +128,53 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sdexp: ignoring persisted cache:", err)
 		}
 	}
-	runner := &runner{ctx: ctx, engine: engine, scale: *scale, seed: *seed, outDir: *outDir}
 	var err error
-	if *points != "" {
-		err = runner.runPoints(*points)
-	} else {
+	if *mergeCache != "" {
+		// The reduce step of a sharded campaign: fold per-shard spills
+		// into the engine cache (and, via the spill-on-exit below, into
+		// -cache-dir). Conflicting payloads mean determinism broke
+		// somewhere — resolve deterministically but tell the operator.
+		switch {
+		case *cache <= 0:
+			err = errors.New("-merge-cache needs the in-memory cache; raise -cache above 0")
+		case *server != "":
+			err = errors.New("-merge-cache has no effect with -server: the remote engine never sees the merged cache")
+		default:
+			var paths []string
+			for _, p := range strings.Split(*mergeCache, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					paths = append(paths, p)
+				}
+			}
+			var stats sdpolicy.CacheMergeStats
+			stats, err = engine.MergeCache(paths...)
+			for _, c := range stats.Conflicts {
+				fmt.Fprintln(os.Stderr, "sdexp: cache conflict:", c)
+			}
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "sdexp: merged %d cache files into %d entries (%d conflicts)\n",
+					stats.Files, stats.Entries, len(stats.Conflicts))
+			}
+		}
+	}
+	runner := &runner{ctx: ctx, engine: engine, scale: *scale, seed: *seed, outDir: *outDir}
+	switch {
+	case err != nil:
+	case *points != "":
+		err = runner.runPoints(*points, *shard, *server)
+	case *exp == "none":
+		// Cache maintenance only (-merge-cache ... -cache-dir out).
+	default:
 		err = runner.run(*exp)
 	}
 	if cacheFile != "" {
 		// Spill whatever simulated, even after a mid-campaign error or
 		// Ctrl-C: completed points are still valid and warm the next run.
-		if serr := engine.SaveCache(cacheFile); serr != nil {
+		stats, serr := engine.SaveCache(cacheFile)
+		for _, c := range stats.Conflicts {
+			fmt.Fprintln(os.Stderr, "sdexp: cache conflict:", c)
+		}
+		if serr != nil {
 			fmt.Fprintln(os.Stderr, "sdexp: saving result cache:", serr)
 		}
 	}
@@ -122,7 +191,14 @@ func main() {
 // earlier one has completed, so the output is byte-identical across
 // worker counts (the CI determinism gate diffs two runs) while a
 // consumer still sees the sweep grow point by point.
-func (r *runner) runPoints(path string) error {
+//
+// With shardSpec ("i/n"), only the i-th deterministic shard of the
+// campaign runs; each line keeps its original campaign index, so the n
+// shard outputs interleave by index into exactly the full run's bytes.
+// With serverURL, the campaign executes on a remote sdserve instance
+// (worker or coordinator) and the stream is re-ordered locally — same
+// bytes, remote cycles.
+func (r *runner) runPoints(path, shardSpec, serverURL string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -145,12 +221,38 @@ func (r *runner) runPoints(path string) error {
 	if err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
+	// positions maps the indices of the points actually run back to
+	// their original campaign positions (the identity unless sharded).
+	positions := make([]int, len(points))
+	for i := range positions {
+		positions[i] = i
+	}
+	if shardSpec != "" {
+		index, of, err := parseShard(shardSpec)
+		if err != nil {
+			return err
+		}
+		shards, err := sdpolicy.PlanShards(points, of)
+		if err != nil {
+			return err
+		}
+		s := shards[index-1]
+		positions, points = s.Positions, s.Points
+		if len(points) == 0 {
+			fmt.Fprintf(os.Stderr, "sdexp: shard %s is empty (fewer unique points than shards)\n", shardSpec)
+			return nil
+		}
+	}
 	updates := make(chan sdpolicy.PointResult, len(points))
 	errc := make(chan error, 1)
-	go func() {
-		_, err := r.engine.RunStream(r.ctx, points, updates)
-		errc <- err
-	}()
+	if serverURL != "" {
+		go func() { errc <- streamFromServer(r.ctx, serverURL, points, updates) }()
+	} else {
+		go func() {
+			_, err := r.engine.RunStream(r.ctx, points, updates)
+			errc <- err
+		}()
+	}
 	enc := json.NewEncoder(os.Stdout)
 	pending := make(map[int]sdpolicy.PointResult)
 	next := 0
@@ -161,6 +263,7 @@ func (r *runner) runPoints(path string) error {
 			if !ok {
 				break
 			}
+			v.Index = positions[next]
 			if err := enc.Encode(v); err != nil {
 				return err
 			}
@@ -169,6 +272,40 @@ func (r *runner) runPoints(path string) error {
 		}
 	}
 	return <-errc
+}
+
+// parseShard parses "i/n" with 1 <= i <= n.
+func parseShard(spec string) (index, of int, err error) {
+	a, b, ok := strings.Cut(spec, "/")
+	if ok {
+		index, err = strconv.Atoi(a)
+		if err == nil {
+			of, err = strconv.Atoi(b)
+		}
+	}
+	if !ok || err != nil || of < 1 || index < 1 || index > of {
+		return 0, 0, fmt.Errorf("bad -shard %q: want i/n with 1 <= i <= n (shards are 1-based)", spec)
+	}
+	return index, of, nil
+}
+
+// streamFromServer runs the campaign on a remote sdserve instance via
+// the shared /v1/campaign wire client and forwards its stream onto
+// updates, with the same contract as Engine.RunStream: results arrive
+// in completion order, updates closes before returning, and the first
+// error aborts.
+func streamFromServer(ctx context.Context, base string, points []sdpolicy.Point, updates chan<- sdpolicy.PointResult) error {
+	defer close(updates)
+	return serve.RunRemoteCampaign(ctx, nil, base, points, func(index int, res *sdpolicy.Result) error {
+		// Echo our own point value, not the server's parse of it, so
+		// output bytes match a local run exactly.
+		select {
+		case updates <- sdpolicy.PointResult{Index: index, Point: points[index], Result: res}:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
 }
 
 type runner struct {

@@ -23,6 +23,14 @@
 // mid-simulation and frees its slot. SIGINT/SIGTERM finish open
 // streams with a terminal shutdown event, then drain in-flight
 // requests before exit.
+//
+// -peers http://w1:8080,http://w2:8080 turns the instance into a
+// campaign coordinator: /v1/campaign requests are planned into one
+// deterministic shard per worker, fanned out to the listed sdserve
+// instances over the same streaming wire form, and re-merged — with a
+// failed worker's unresolved points requeued to the survivors, so the
+// merged stream matches a single-process run as long as one worker is
+// alive. /v1/simulate and /v1/sweep keep running on the local engine.
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,11 +57,20 @@ func main() {
 		cache    = flag.Int("cache", 512, "result cache capacity in campaign points (0 disables)")
 		inflight = flag.Int("max-inflight", 32, "max concurrently simulating requests")
 		grace    = flag.Duration("grace", 30*time.Second, "shutdown grace period")
+		peers    = flag.String("peers", "", "comma-separated worker sdserve base URLs; when set, /v1/campaign fans out to these instances instead of simulating locally")
 	)
 	flag.Parse()
 
 	engine := sdpolicy.NewEngine(*workers, *cache)
 	api := serve.New(engine, *inflight)
+	if *peers != "" {
+		urls := strings.Split(*peers, ",")
+		if err := api.EnableCoordinator(urls, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "sdserve:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sdserve: coordinating campaigns across %d workers\n", len(urls))
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           api.Handler(),

@@ -257,7 +257,7 @@ func TestSaveLoadCacheRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "spill", "campaign-cache.json")
-	if err := warm.SaveCache(path); err != nil {
+	if _, err := warm.SaveCache(path); err != nil {
 		t.Fatal(err)
 	}
 

@@ -120,6 +120,13 @@ func (r *Runner[K, R]) Stats() (hits, misses uint64) {
 	return r.hits.Load(), r.misses.Load()
 }
 
+// CacheCap returns the result cache's capacity in entries (0 when
+// caching is disabled), letting callers detect prime sets that would
+// overflow it.
+func (r *Runner[K, R]) CacheCap() int {
+	return r.cache.Cap()
+}
+
 // CacheSnapshot returns the memoised results, least recently used
 // first, for persistence across processes. With caching disabled it
 // returns empty slices.

@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Shard is one self-describing partition of a campaign key list: the
+// keys it owns plus their positions in the original list. Shards carry
+// everything a remote worker needs — no shared state beyond the plan —
+// and everything the merge needs to reassemble results positionally,
+// so shard results can arrive in any order (job arrays, coordinator
+// fan-out, retries) without affecting the merged output.
+type Shard[K comparable] struct {
+	// Index is this shard's 0-based number within the plan; Of is the
+	// plan's total shard count.
+	Index int `json:"index"`
+	Of    int `json:"of"`
+	// Positions are the original-list positions this shard owns, in
+	// ascending order. Keys is aligned with it: Keys[i] is the key at
+	// original position Positions[i].
+	Positions []int `json:"positions"`
+	Keys      []K   `json:"keys"`
+}
+
+// Plan partitions keys into n shards such that running each shard
+// independently and merging with MergeShards reproduces a
+// single-process run exactly. Assignment is deterministic: unique keys
+// are dealt round-robin in first-appearance order, and every
+// occurrence of a key lands in the same shard, so a duplicated key
+// (e.g. a shared static baseline) is never simulated by two shards.
+// Shards may be empty when n exceeds the number of unique keys.
+// Plan panics if n <= 0.
+func Plan[K comparable](keys []K, n int) []Shard[K] {
+	if n <= 0 {
+		panic(fmt.Sprintf("campaign: planning %d shards", n))
+	}
+	shards := make([]Shard[K], n)
+	for i := range shards {
+		shards[i].Index = i
+		shards[i].Of = n
+	}
+	owner := make(map[K]int, len(keys))
+	unique := 0
+	for pos, k := range keys {
+		s, seen := owner[k]
+		if !seen {
+			s = unique % n
+			owner[k] = s
+			unique++
+		}
+		shards[s].Positions = append(shards[s].Positions, pos)
+		shards[s].Keys = append(shards[s].Keys, k)
+	}
+	return shards
+}
+
+// MergeShards reassembles per-shard results into the full result slice
+// a single-process run over the original total-length key list would
+// return: merged[p] is the result for original position p. results[i]
+// must be aligned with shards[i].Positions — the pairs may be given in
+// any order and from any subset-free covering of the plan, so a
+// coordinator can merge shards in completion order. Coverage is
+// verified: a position left unresolved, resolved twice, or out of
+// range is an error rather than a silently zero (or clobbered) result.
+func MergeShards[K comparable, R any](total int, shards []Shard[K], results [][]R) ([]R, error) {
+	if len(shards) != len(results) {
+		return nil, fmt.Errorf("campaign: merging %d shards with %d result sets", len(shards), len(results))
+	}
+	merged := make([]R, total)
+	seen := make([]bool, total)
+	filled := 0
+	for i, s := range shards {
+		if len(results[i]) != len(s.Positions) {
+			return nil, fmt.Errorf("campaign: shard %d/%d carries %d results for %d positions",
+				s.Index+1, s.Of, len(results[i]), len(s.Positions))
+		}
+		for j, pos := range s.Positions {
+			if pos < 0 || pos >= total {
+				return nil, fmt.Errorf("campaign: shard %d/%d position %d out of range [0,%d)",
+					s.Index+1, s.Of, pos, total)
+			}
+			if seen[pos] {
+				return nil, fmt.Errorf("campaign: position %d resolved by two shards", pos)
+			}
+			seen[pos] = true
+			merged[pos] = results[i][j]
+			filled++
+		}
+	}
+	if filled != total {
+		missing := make([]int, 0, total-filled)
+		for p, ok := range seen {
+			if !ok {
+				missing = append(missing, p)
+			}
+		}
+		sort.Ints(missing)
+		return nil, fmt.Errorf("campaign: %d of %d positions unresolved (first missing: %d)",
+			total-filled, total, missing[0])
+	}
+	return merged, nil
+}

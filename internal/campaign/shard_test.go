@@ -1,0 +1,148 @@
+package campaign
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestPlanCoversEveryPositionOnce: for arbitrary key lists (duplicates
+// included) and shard counts, the plan partitions positions exactly.
+func TestPlanCoversEveryPositionOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		nkeys := rng.Intn(40)
+		keys := make([]int, nkeys)
+		for i := range keys {
+			keys[i] = rng.Intn(10) // heavy duplication
+		}
+		n := 1 + rng.Intn(8)
+		shards := Plan(keys, n)
+		if len(shards) != n {
+			t.Fatalf("Plan(%d keys, %d) returned %d shards", nkeys, n, len(shards))
+		}
+		seen := make(map[int]int)
+		for _, s := range shards {
+			if s.Of != n {
+				t.Fatalf("shard %d has Of=%d, want %d", s.Index, s.Of, n)
+			}
+			if len(s.Keys) != len(s.Positions) {
+				t.Fatalf("shard %d: %d keys vs %d positions", s.Index, len(s.Keys), len(s.Positions))
+			}
+			for j, pos := range s.Positions {
+				seen[pos]++
+				if keys[pos] != s.Keys[j] {
+					t.Fatalf("shard %d: Keys[%d]=%d but keys[%d]=%d", s.Index, j, s.Keys[j], pos, keys[pos])
+				}
+				if j > 0 && s.Positions[j-1] >= pos {
+					t.Fatalf("shard %d positions not ascending: %v", s.Index, s.Positions)
+				}
+			}
+		}
+		for pos := 0; pos < nkeys; pos++ {
+			if seen[pos] != 1 {
+				t.Fatalf("position %d covered %d times", pos, seen[pos])
+			}
+		}
+	}
+}
+
+// TestPlanCoLocatesDuplicates: every occurrence of one key lands in one
+// shard, so a duplicated point never simulates in two processes.
+func TestPlanCoLocatesDuplicates(t *testing.T) {
+	keys := []string{"base", "a", "base", "b", "base", "c", "a"}
+	for _, n := range []int{1, 2, 3, 5, 10} {
+		owner := make(map[string]int)
+		for _, s := range Plan(keys, n) {
+			for _, k := range s.Keys {
+				if prev, ok := owner[k]; ok && prev != s.Index {
+					t.Fatalf("n=%d: key %q in shards %d and %d", n, k, prev, s.Index)
+				}
+				owner[k] = s.Index
+			}
+		}
+	}
+}
+
+// TestPlanDeterministic: the same inputs always give the same plan.
+func TestPlanDeterministic(t *testing.T) {
+	keys := []string{"a", "b", "a", "c", "d", "b", "e"}
+	if !reflect.DeepEqual(Plan(keys, 3), Plan(keys, 3)) {
+		t.Fatal("two plans over identical inputs differ")
+	}
+}
+
+// TestMergeShardsOrderIndependent: merging shard results in any order
+// reproduces the positional result slice a single run would return.
+func TestMergeShardsOrderIndependent(t *testing.T) {
+	keys := []string{"a", "b", "a", "c", "d", "b", "e", "f"}
+	shards := Plan(keys, 3)
+	results := make([][]string, len(shards))
+	for i, s := range shards {
+		for _, k := range s.Keys {
+			results[i] = append(results[i], "res:"+k)
+		}
+	}
+	want := make([]string, len(keys))
+	for i, k := range keys {
+		want[i] = "res:" + k
+	}
+	perms := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}}
+	for _, perm := range perms {
+		ps := make([]Shard[string], len(perm))
+		pr := make([][]string, len(perm))
+		for i, p := range perm {
+			ps[i], pr[i] = shards[p], results[p]
+		}
+		got, err := MergeShards(len(keys), ps, pr)
+		if err != nil {
+			t.Fatalf("perm %v: %v", perm, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("perm %v: merged %v, want %v", perm, got, want)
+		}
+	}
+}
+
+// TestMergeShardsRejectsBadCoverage: missing, duplicated and
+// out-of-range positions are loud errors, not zero results.
+func TestMergeShardsRejectsBadCoverage(t *testing.T) {
+	keys := []string{"a", "b", "c", "d"}
+	shards := Plan(keys, 2)
+	full := make([][]string, len(shards))
+	for i, s := range shards {
+		full[i] = make([]string, len(s.Keys))
+	}
+	if _, err := MergeShards(len(keys), shards[:1], full[:1]); err == nil {
+		t.Fatal("missing shard accepted")
+	}
+	if _, err := MergeShards(len(keys), []Shard[string]{shards[0], shards[0]}, [][]string{full[0], full[0]}); err == nil {
+		t.Fatal("duplicate shard accepted")
+	}
+	if _, err := MergeShards(len(keys), shards, [][]string{full[0], full[1][:1]}); err == nil {
+		t.Fatal("short result set accepted")
+	}
+	bad := shards
+	bad[1].Positions = append([]int(nil), bad[1].Positions...)
+	bad[1].Positions[0] = len(keys) + 3
+	if _, err := MergeShards(len(keys), bad, full); err == nil {
+		t.Fatal("out-of-range position accepted")
+	}
+}
+
+// TestPlanEmptyAndOversized: empty key lists and n > unique keys give
+// empty shards that merge cleanly.
+func TestPlanEmptyAndOversized(t *testing.T) {
+	shards := Plan([]string{"a"}, 4)
+	results := [][]string{{"r"}, {}, {}, {}}
+	got, err := MergeShards(1, shards, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "r" {
+		t.Fatalf("merged %v", got)
+	}
+	if merged, err := MergeShards(0, Plan([]string{}, 3), [][]string{{}, {}, {}}); err != nil || len(merged) != 0 {
+		t.Fatalf("empty plan merge: %v, %v", merged, err)
+	}
+}

@@ -96,6 +96,14 @@ func (c *Cache[K, V]) Snapshot() (keys []K, vals []V) {
 	return keys, vals
 }
 
+// Cap returns the cache capacity; a nil cache has capacity 0.
+func (c *Cache[K, V]) Cap() int {
+	if c == nil {
+		return 0
+	}
+	return c.cap
+}
+
 // Len returns the number of cached entries.
 func (c *Cache[K, V]) Len() int {
 	if c == nil {

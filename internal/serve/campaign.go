@@ -81,10 +81,17 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	// time are guaranteed to still be deliverable by the drain below.
 	updates := make(chan sdpolicy.PointResult, len(points))
 	errc := make(chan error, 1)
-	go func() {
-		_, err := s.engine.RunStream(ctx, points, updates)
-		errc <- err
-	}()
+	// In coordinator mode the campaign fans out to the worker fleet;
+	// otherwise it runs on the local engine. Both close updates before
+	// returning and deliver results in completion order.
+	run := func(ctx context.Context, pts []sdpolicy.Point, updates chan<- sdpolicy.PointResult) error {
+		_, err := s.engine.RunStream(ctx, pts, updates)
+		return err
+	}
+	if s.coord != nil {
+		run = s.coord.run
+	}
+	go func() { errc <- run(ctx, points, updates) }()
 	sent := 0
 	for {
 		select {

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"sdpolicy"
+)
+
+// This file is the client side of the /v1/campaign wire form — the one
+// place the request shape and stream events are defined for consumers.
+// Two callers share it: the coordinator's per-shard fan-out (which adds
+// worker-fault classification and partial-shard tracking on top) and
+// sdexp -server via RunRemoteCampaign.
+
+// postCampaign marshals points in the shared PointSpec wire form and
+// opens an NDJSON /v1/campaign stream against base (no trailing
+// slash). The caller owns closing the response body and interpreting
+// non-200 statuses.
+func postCampaign(ctx context.Context, hc *http.Client, base string, points []sdpolicy.Point) (*http.Response, error) {
+	body, err := json.Marshal(struct {
+		Points []sdpolicy.Point `json:"points"`
+		Format string           `json:"format"`
+	}{Points: points, Format: "ndjson"})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/campaign", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return hc.Do(req)
+}
+
+// workerEvent decodes any line of a /v1/campaign NDJSON stream: result
+// lines carry Index/Result, the terminal line carries Done, Shutdown
+// or Error. The echoed point and done-count fields are deliberately
+// not decoded — no consumer reads them.
+type workerEvent struct {
+	Index    *int             `json:"index"`
+	Result   *sdpolicy.Result `json:"result"`
+	Done     *bool            `json:"done"`
+	Shutdown *bool            `json:"shutdown"`
+	Error    *string          `json:"error"`
+}
+
+// eventKind classifies a stream line; the discrimination rules live
+// here once so the two decode loops (RunRemoteCampaign and the
+// coordinator's fan-out) cannot drift apart.
+type eventKind int
+
+const (
+	evResult eventKind = iota
+	evDone
+	evShutdown
+	evError
+	evUnknown
+)
+
+func (ev workerEvent) kind() eventKind {
+	switch {
+	case ev.Index != nil:
+		return evResult
+	case ev.Done != nil && *ev.Done:
+		return evDone
+	case ev.Shutdown != nil && *ev.Shutdown:
+		return evShutdown
+	case ev.Error != nil:
+		return evError
+	default:
+		return evUnknown
+	}
+}
+
+// readError summarises a non-200 campaign response.
+func readError(base string, resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return fmt.Errorf("%s: status %d: %s", base, resp.StatusCode, bytes.TrimSpace(msg))
+}
+
+// RunRemoteCampaign executes points on a remote sdserve instance
+// (worker or coordinator) at base URL, calling emit for each result in
+// completion order with its index into points. Any failure — transport,
+// non-200 status, in-band error or shutdown terminal, emit's own error
+// — aborts the campaign. It backs sdexp -server.
+func RunRemoteCampaign(ctx context.Context, client *http.Client, base string, points []sdpolicy.Point, emit func(index int, res *sdpolicy.Result) error) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	base = strings.TrimRight(base, "/")
+	resp, err := postCampaign(ctx, client, base, points)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return readError(base, resp)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev workerEvent
+		if err := dec.Decode(&ev); err != nil {
+			return fmt.Errorf("%s: stream ended early: %w", base, err)
+		}
+		switch ev.kind() {
+		case evResult:
+			if *ev.Index < 0 || *ev.Index >= len(points) || ev.Result == nil {
+				return fmt.Errorf("%s: malformed result line (index %v)", base, *ev.Index)
+			}
+			if err := emit(*ev.Index, ev.Result); err != nil {
+				return err
+			}
+		case evDone:
+			return nil
+		case evShutdown:
+			return fmt.Errorf("%s: server shut down mid-campaign", base)
+		case evError:
+			return fmt.Errorf("%s: %s", base, *ev.Error)
+		default:
+			return fmt.Errorf("%s: unrecognised stream line", base)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+
+	"sdpolicy"
+)
+
+// coordinator fans /v1/campaign requests out to a fixed set of worker
+// sdserve instances over the existing streaming wire form and re-merges
+// their NDJSON streams. The campaign's points are planned into one
+// self-describing shard per worker (canonical duplicates co-located, so
+// nothing simulates twice across the fleet); each worker streams its
+// shard back, and the coordinator relays results to the client as they
+// arrive, tagged with their original campaign positions. A worker that
+// fails — connection refused, mid-stream cut, shutdown event — is
+// marked dead for the rest of the campaign and its shard's unresolved
+// points requeue to a surviving worker, so the merged output is
+// identical to a single-process run as long as one worker survives.
+type coordinator struct {
+	urls   []string
+	client *http.Client
+}
+
+// newCoordinator validates and normalises the worker base URLs.
+func newCoordinator(workers []string, client *http.Client) (*coordinator, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("coordinator: no worker URLs")
+	}
+	urls := make([]string, len(workers))
+	for i, w := range workers {
+		w = strings.TrimRight(strings.TrimSpace(w), "/")
+		u, err := url.Parse(w)
+		if err != nil || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
+			return nil, fmt.Errorf("coordinator: worker %q is not an http(s) base URL", workers[i])
+		}
+		urls[i] = w
+	}
+	if client == nil {
+		// No overall timeout: campaigns run for minutes by design, and
+		// cancellation flows through the request context instead.
+		client = &http.Client{}
+	}
+	return &coordinator{urls: urls, client: client}, nil
+}
+
+// shardJob is one unit of fan-out work: the original-campaign positions
+// still unresolved. Shards shrink on retry — positions whose results
+// already streamed before a worker died are not re-sent.
+type shardJob struct {
+	positions []int
+}
+
+// fanout is the shared state of one coordinated campaign.
+type fanout struct {
+	points  []sdpolicy.Point
+	updates chan<- sdpolicy.PointResult
+	queue   chan shardJob
+	cancel  context.CancelFunc
+
+	mu          sync.Mutex
+	outstanding int // shards not yet fully resolved
+	live        int // workers not yet marked dead
+	received    []bool
+	firstErr    error
+}
+
+// run executes the campaign across the worker fleet, delivering each
+// result on updates the moment a worker streams it, and returns once
+// every point has resolved or the campaign failed. It mirrors
+// Engine.RunStream's contract: updates is closed before returning.
+func (c *coordinator) run(ctx context.Context, points []sdpolicy.Point, updates chan<- sdpolicy.PointResult) error {
+	defer close(updates)
+	shards, err := sdpolicy.PlanShards(points, len(c.urls))
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	st := &fanout{
+		points:  points,
+		updates: updates,
+		// Buffered for every enqueue that can ever happen: the initial
+		// shards plus one requeue per worker death, so a requeueing
+		// worker never blocks on its own send.
+		queue:    make(chan shardJob, len(shards)+len(c.urls)),
+		cancel:   cancel,
+		live:     len(c.urls),
+		received: make([]bool, len(points)),
+	}
+	for _, s := range shards {
+		if len(s.Positions) == 0 {
+			continue
+		}
+		st.outstanding++
+		st.queue <- shardJob{positions: s.Positions}
+	}
+	if st.outstanding == 0 {
+		return ctx.Err()
+	}
+	var wg sync.WaitGroup
+	for _, u := range c.urls {
+		wg.Add(1)
+		go func(workerURL string) {
+			defer wg.Done()
+			c.workerLoop(ctx, workerURL, st)
+		}(u)
+	}
+	wg.Wait()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.firstErr != nil {
+		return st.firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for pos, ok := range st.received {
+		if !ok {
+			return fmt.Errorf("coordinator: position %d never resolved", pos)
+		}
+	}
+	return nil
+}
+
+// workerLoop drains shards against one worker until the queue closes,
+// the campaign ends, or the worker fails (at which point the shard's
+// unresolved remainder requeues and this worker retires).
+func (c *coordinator) workerLoop(ctx context.Context, workerURL string, st *fanout) {
+	for {
+		select {
+		case job, ok := <-st.queue:
+			if !ok {
+				return
+			}
+			remaining, err, workerFault := c.runShard(ctx, workerURL, job, st)
+			switch {
+			case err == nil:
+				st.finishShard()
+			case ctx.Err() != nil:
+				// The campaign is already over (client gone, first error,
+				// all positions resolved): don't blame the worker.
+				st.fail(ctx.Err())
+				return
+			case workerFault:
+				if len(remaining.positions) == 0 {
+					// The stream broke after delivering every result but
+					// before its terminal event: the shard is done.
+					st.finishShard()
+					continue
+				}
+				st.requeue(remaining)
+				st.workerDown(workerURL, err)
+				return
+			default:
+				st.fail(err)
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// runShard streams one shard through one worker, emitting results as
+// they arrive. It returns the job's unresolved remainder, the error
+// that ended the attempt, and whether that error indicts the worker
+// (retryable elsewhere) rather than the campaign (deterministic, so
+// retrying would reproduce it).
+func (c *coordinator) runShard(ctx context.Context, workerURL string, job shardJob, st *fanout) (remaining shardJob, err error, workerFault bool) {
+	got := make([]bool, len(job.positions))
+	missing := func() shardJob {
+		var rem shardJob
+		for i, pos := range job.positions {
+			if !got[i] {
+				rem.positions = append(rem.positions, pos)
+			}
+		}
+		return rem
+	}
+	pts := make([]sdpolicy.Point, len(job.positions))
+	for i, pos := range job.positions {
+		pts[i] = st.points[pos]
+	}
+	resp, err := postCampaign(ctx, c.client, workerURL, pts)
+	if err != nil {
+		return job, fmt.Errorf("worker %s: %w", workerURL, err), true
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// A 400 is deterministic — every worker would reject the same
+		// points — so it fails the campaign; anything else (503 slot
+		// exhaustion, shutdown, proxies) is the worker's problem.
+		return job, fmt.Errorf("worker %w", readError(workerURL, resp)), resp.StatusCode != http.StatusBadRequest
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev workerEvent
+		if derr := dec.Decode(&ev); derr != nil {
+			return missing(), fmt.Errorf("worker %s: stream ended early: %w", workerURL, derr), true
+		}
+		switch ev.kind() {
+		case evResult:
+			local := *ev.Index
+			if local < 0 || local >= len(job.positions) || ev.Result == nil {
+				return missing(), fmt.Errorf("worker %s: malformed result line (index %d of %d points)",
+					workerURL, local, len(job.positions)), true
+			}
+			if got[local] {
+				continue
+			}
+			got[local] = true
+			st.emit(ctx, job.positions[local], ev.Result)
+		case evDone:
+			if rem := missing(); len(rem.positions) != 0 {
+				return rem, fmt.Errorf("worker %s: done after %d of %d results",
+					workerURL, len(job.positions)-len(rem.positions), len(job.positions)), true
+			}
+			return shardJob{}, nil, false
+		case evShutdown:
+			return missing(), fmt.Errorf("worker %s: shutting down", workerURL), true
+		case evError:
+			return missing(), fmt.Errorf("worker %s: %s", workerURL, *ev.Error), false
+		default:
+			return missing(), fmt.Errorf("worker %s: unrecognised stream line", workerURL), true
+		}
+	}
+}
+
+// emit relays one resolved position to the client stream, deduplicating
+// positions that a retried shard could deliver twice.
+func (st *fanout) emit(ctx context.Context, pos int, res *sdpolicy.Result) {
+	st.mu.Lock()
+	if st.received[pos] {
+		st.mu.Unlock()
+		return
+	}
+	st.received[pos] = true
+	st.mu.Unlock()
+	select {
+	case st.updates <- sdpolicy.PointResult{Index: pos, Point: st.points[pos], Result: res}:
+	case <-ctx.Done():
+	}
+}
+
+// finishShard retires one fully-resolved shard, closing the queue once
+// the last one lands so idle workers return.
+func (st *fanout) finishShard() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.outstanding--
+	if st.outstanding == 0 {
+		close(st.queue)
+	}
+}
+
+// requeue hands a failed shard's unresolved remainder to the surviving
+// workers. The queue's buffer covers every possible requeue, so this
+// never blocks.
+func (st *fanout) requeue(job shardJob) {
+	st.queue <- job
+}
+
+// workerDown retires a failed worker; when the last one dies the
+// campaign cannot finish and fails with the final worker's error.
+func (st *fanout) workerDown(workerURL string, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.live--
+	if st.live == 0 {
+		if st.firstErr == nil {
+			st.firstErr = fmt.Errorf("all campaign workers failed; last: %w", err)
+		}
+		st.cancel()
+	}
+}
+
+// fail records the campaign's first fatal error and cancels the rest.
+func (st *fanout) fail(err error) {
+	if err == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.firstErr == nil {
+		st.firstErr = err
+	}
+	st.cancel()
+}

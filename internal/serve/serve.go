@@ -48,6 +48,9 @@ type Server struct {
 	// finish their response with a terminal event.
 	shutdown     chan struct{}
 	shutdownOnce sync.Once
+	// coord, when non-nil, makes /v1/campaign fan out to a fleet of
+	// worker sdserve instances instead of the local engine.
+	coord *coordinator
 }
 
 // New builds a Server over the engine, allowing at most maxInflight
@@ -61,6 +64,24 @@ func New(engine *sdpolicy.Engine, maxInflight int) *Server {
 		slots:    make(chan struct{}, maxInflight),
 		shutdown: make(chan struct{}),
 	}
+}
+
+// EnableCoordinator switches /v1/campaign to coordinator mode: rather
+// than simulating locally, campaigns are planned into one shard per
+// worker URL, fanned out over the streaming wire form, and re-merged —
+// with a failed worker's unresolved points requeued to the survivors,
+// so the merged stream is identical to a single-process run as long as
+// one worker survives. The other endpoints (/v1/simulate, /v1/sweep)
+// keep using the local engine. client may be nil for a default
+// timeout-free client (campaign cancellation flows through request
+// contexts, not deadlines). Call before serving requests.
+func (s *Server) EnableCoordinator(workers []string, client *http.Client) error {
+	coord, err := newCoordinator(workers, client)
+	if err != nil {
+		return err
+	}
+	s.coord = coord
+	return nil
 }
 
 // Handler returns the routed API handler.
@@ -113,6 +134,9 @@ type Health struct {
 	CampaignsInFlight int64  `json:"campaigns_in_flight"`
 	CacheHits         uint64 `json:"cache_hits"`
 	CacheMisses       uint64 `json:"cache_misses"`
+	// Peers lists the configured worker base URLs when this instance
+	// runs as a campaign coordinator; empty otherwise.
+	Peers []string `json:"peers,omitempty"`
 }
 
 type apiError struct {
@@ -168,14 +192,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hits, misses := s.engine.CacheStats()
-	writeJSON(w, http.StatusOK, Health{
+	h := Health{
 		Status:            "ok",
 		Workers:           s.engine.Workers(),
 		InFlight:          len(s.slots),
 		CampaignsInFlight: s.campaigns.Load(),
 		CacheHits:         hits,
 		CacheMisses:       misses,
-	})
+	}
+	if s.coord != nil {
+		h.Peers = s.coord.urls
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // decode enforces POST + JSON and fills dst, replying on failure.

@@ -1,0 +1,381 @@
+package sdpolicy
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// mergeTestShards simulates the map step of a map-reduce campaign:
+// each shard of points runs in its own engine and spills into its own
+// cache directory. Returns the spill paths and the single-process
+// reference results.
+func mergeTestShards(t *testing.T, points []Point, n int) (paths []string, want []*Result) {
+	t.Helper()
+	ctx := context.Background()
+	shards, err := PlanShards(points, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := t.TempDir()
+	for i, s := range shards {
+		engine := NewEngine(2, 64)
+		if _, err := engine.Run(ctx, s.Points); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		dir := filepath.Join(base, "shard", string(rune('a'+i)))
+		if _, err := engine.SaveCache(filepath.Join(dir, CacheFileName)); err != nil {
+			t.Fatalf("shard %d spill: %v", i, err)
+		}
+		paths = append(paths, dir)
+	}
+	want, err = NewEngine(2, 64).Run(ctx, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths, want
+}
+
+// TestMergeCacheMapReduce: merging per-shard spills gives a cache that
+// answers the full campaign without a single simulation, identically
+// to a single-process run.
+func TestMergeCacheMapReduce(t *testing.T) {
+	points := shardTestPoints()
+	paths, want := mergeTestShards(t, points, 3)
+
+	engine := NewEngine(2, 64)
+	stats, err := engine.MergeCache(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Conflicts) != 0 {
+		t.Fatalf("deterministic shards reported conflicts: %v", stats.Conflicts)
+	}
+	if stats.Files != 3 {
+		t.Fatalf("merged %d files, want 3", stats.Files)
+	}
+	got, err := engine.Run(context.Background(), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := engine.CacheStats(); misses != 0 {
+		t.Fatalf("merged cache still simulated %d points, want 0", misses)
+	}
+	for i := range want {
+		gotJSON, _ := json.Marshal(got[i])
+		wantJSON, _ := json.Marshal(want[i])
+		if string(gotJSON) != string(wantJSON) {
+			t.Fatalf("point %d: %s, want %s", i, gotJSON, wantJSON)
+		}
+	}
+	// The merged spill must be byte-identical to a single process's
+	// spill of the same campaign — the acceptance criterion behind the
+	// sdexp -shard/-merge-cache CI gate.
+	single := NewEngine(2, 64)
+	if _, err := single.Run(context.Background(), points); err != nil {
+		t.Fatal(err)
+	}
+	singlePath := filepath.Join(t.TempDir(), CacheFileName)
+	if _, err := single.SaveCache(singlePath); err != nil {
+		t.Fatal(err)
+	}
+	mergedPath := filepath.Join(t.TempDir(), CacheFileName)
+	if _, err := engine.SaveCache(mergedPath); err != nil {
+		t.Fatal(err)
+	}
+	singleBytes, _ := os.ReadFile(singlePath)
+	mergedBytes, _ := os.ReadFile(mergedPath)
+	if string(singleBytes) != string(mergedBytes) {
+		t.Fatal("merged spill differs from single-process spill")
+	}
+}
+
+// TestMergeCacheOverlappingEntries: the same point spilled by two
+// shards (identical payloads) coalesces without a conflict.
+func TestMergeCacheOverlappingEntries(t *testing.T) {
+	ctx := context.Background()
+	p := NewPoint("wl5", 0.2, 1, Options{Policy: "static"})
+	base := t.TempDir()
+	var paths []string
+	for _, name := range []string{"a", "b"} {
+		engine := NewEngine(1, 8)
+		if _, err := engine.Run(ctx, []Point{p}); err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join(base, name)
+		if _, err := engine.SaveCache(filepath.Join(dir, CacheFileName)); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, dir)
+	}
+	engine := NewEngine(1, 8)
+	stats, err := engine.MergeCache(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entries != 1 || len(stats.Conflicts) != 0 {
+		t.Fatalf("stats = %+v, want 1 entry, 0 conflicts", stats)
+	}
+}
+
+// conflictingSpills writes two spill files that disagree about one
+// canonical point's payload, returning their paths. The corrupted copy
+// perturbs a result field, standing in for a determinism bug.
+func conflictingSpills(t *testing.T) (good, bad string) {
+	t.Helper()
+	ctx := context.Background()
+	p := NewPoint("wl5", 0.2, 1, Options{Policy: "static"})
+	engine := NewEngine(1, 8)
+	if _, err := engine.Run(ctx, []Point{p}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	good = filepath.Join(dir, "good.json")
+	if _, err := engine.SaveCache(good); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		Version int               `json:"version"`
+		Entries []json.RawMessage `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatal(err)
+	}
+	var entry map[string]json.RawMessage
+	if err := json.Unmarshal(file.Entries[0], &entry); err != nil {
+		t.Fatal(err)
+	}
+	var res map[string]any
+	if err := json.Unmarshal(entry["result"], &res); err != nil {
+		t.Fatal(err)
+	}
+	res["makespan"] = float64(1) // the divergent payload
+	entry["result"], _ = json.Marshal(res)
+	file.Entries[0], _ = json.Marshal(entry)
+	mutated, _ := json.Marshal(file)
+	bad = filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return good, bad
+}
+
+// TestMergeCacheConflictDeterministicWinner: conflicting payloads for
+// one canonical point are reported, and the winner is the same no
+// matter which order the inputs are merged in.
+func TestMergeCacheConflictDeterministicWinner(t *testing.T) {
+	good, bad := conflictingSpills(t)
+	snapshot := func(order ...string) (string, CacheMergeStats) {
+		engine := NewEngine(1, 8)
+		stats, err := engine.MergeCache(order...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), CacheFileName)
+		if _, err := engine.SaveCache(path); err != nil {
+			t.Fatal(err)
+		}
+		data, _ := os.ReadFile(path)
+		return string(data), stats
+	}
+	ab, statsAB := snapshot(good, bad)
+	ba, statsBA := snapshot(bad, good)
+	if ab != ba {
+		t.Fatal("merge winner depends on input order")
+	}
+	for _, stats := range []CacheMergeStats{statsAB, statsBA} {
+		if stats.Entries != 1 {
+			t.Fatalf("stats = %+v, want 1 entry", stats)
+		}
+		if len(stats.Conflicts) != 1 {
+			t.Fatalf("conflicts = %v, want exactly 1 logged discrepancy", stats.Conflicts)
+		}
+		if !strings.Contains(stats.Conflicts[0], "wl5") {
+			t.Fatalf("conflict description %q does not identify the point", stats.Conflicts[0])
+		}
+	}
+}
+
+// TestSaveCacheReportsConflicts: merge-on-save surfaces divergent
+// payloads for one canonical point just like MergeCache does, instead
+// of silently trusting the deterministic winner.
+func TestSaveCacheReportsConflicts(t *testing.T) {
+	_, bad := conflictingSpills(t)
+	engine := NewEngine(1, 8)
+	if _, err := engine.Run(context.Background(), []Point{NewPoint("wl5", 0.2, 1, Options{Policy: "static"})}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := engine.SaveCache(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Files != 1 || stats.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 file folded in, 1 entry written", stats)
+	}
+	if len(stats.Conflicts) != 1 || !strings.Contains(stats.Conflicts[0], "wl5") {
+		t.Fatalf("conflicts = %v, want exactly 1 logged discrepancy naming the point", stats.Conflicts)
+	}
+}
+
+// TestSaveCacheMergesExistingSpill: two engines that simulated
+// different points and save into the same file both survive — the
+// second save merges instead of clobbering the first.
+func TestSaveCacheMergesExistingSpill(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), CacheFileName)
+	p1 := NewPoint("wl5", 0.2, 1, Options{Policy: "static"})
+	p2 := NewPoint("wl5", 0.2, 1, Options{Policy: "sd", MaxSlowdown: 10})
+	for _, p := range []Point{p1, p2} {
+		engine := NewEngine(1, 8)
+		if _, err := engine.Run(ctx, []Point{p}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := engine.SaveCache(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold := NewEngine(1, 8)
+	if err := cold.LoadCache(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.Run(ctx, []Point{p1, p2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := cold.CacheStats(); misses != 0 {
+		t.Fatalf("merged spill missing entries: %d simulations, want 0", misses)
+	}
+}
+
+// TestSaveCacheRefusesToClobberCorruptSpill: an existing spill that
+// fails to decode (other than a version mismatch, the documented
+// format-upgrade replacement) aborts the save — overwriting it could
+// silently drop another shard's entries.
+func TestSaveCacheRefusesToClobberCorruptSpill(t *testing.T) {
+	ctx := context.Background()
+	engine := NewEngine(1, 8)
+	if _, err := engine.Run(ctx, []Point{NewPoint("wl5", 0.2, 1, Options{Policy: "static"})}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	corrupt := filepath.Join(dir, CacheFileName)
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.SaveCache(corrupt); err == nil {
+		t.Fatal("save over a corrupt spill succeeded")
+	}
+	if data, _ := os.ReadFile(corrupt); string(data) != "{not json" {
+		t.Fatal("corrupt spill was clobbered despite the error")
+	}
+	// A version mismatch is the upgrade path: replaced, not fatal.
+	stale := filepath.Join(dir, "stale", CacheFileName)
+	if err := os.MkdirAll(filepath.Dir(stale), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(stale, []byte(`{"version":999,"entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.SaveCache(stale); err != nil {
+		t.Fatalf("save over a version-mismatched spill: %v", err)
+	}
+	cold := NewEngine(1, 8)
+	if err := cold.LoadCache(stale); err != nil {
+		t.Fatalf("replaced spill does not load: %v", err)
+	}
+}
+
+// TestSaveCacheConcurrentWriters: shards racing to spill into one
+// shared file (the -cache-dir sharing case the lock file guards) must
+// all land their entries, and the file must stay valid throughout.
+func TestSaveCacheConcurrentWriters(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), CacheFileName)
+	points := shardTestPoints()
+	shards, err := PlanShards(points, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(shards))
+	for _, s := range shards {
+		wg.Add(1)
+		go func(s CampaignShard) {
+			defer wg.Done()
+			engine := NewEngine(1, 32)
+			if _, err := engine.Run(ctx, s.Points); err != nil {
+				errs <- err
+				return
+			}
+			_, serr := engine.SaveCache(path)
+			errs <- serr
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold := NewEngine(1, 32)
+	if err := cold.LoadCache(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.Run(ctx, points); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := cold.CacheStats(); misses != 0 {
+		t.Fatalf("shared spill dropped entries: %d simulations after merge, want 0", misses)
+	}
+}
+
+// TestMergeCacheRejectsOverflow: a merged entry set larger than the
+// engine's cache would silently evict the overflow and re-simulate it
+// on replay; the merge must refuse instead of reporting success.
+func TestMergeCacheRejectsOverflow(t *testing.T) {
+	ctx := context.Background()
+	engine := NewEngine(1, 8)
+	points := []Point{
+		NewPoint("wl5", 0.2, 1, Options{Policy: "static"}),
+		NewPoint("wl5", 0.2, 1, Options{Policy: "sd", MaxSlowdown: 10}),
+	}
+	if _, err := engine.Run(ctx, points); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), CacheFileName)
+	if _, err := engine.SaveCache(path); err != nil {
+		t.Fatal(err)
+	}
+	small := NewEngine(1, 1)
+	if _, err := small.MergeCache(path); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("2 entries into a 1-entry cache: err = %v, want ErrBadInput", err)
+	}
+}
+
+// TestMergeCacheRejectsBadInputs: unreadable or invalid files abort
+// the merge without priming anything.
+func TestMergeCacheRejectsBadInputs(t *testing.T) {
+	engine := NewEngine(1, 8)
+	if _, err := engine.MergeCache(); err == nil {
+		t.Fatal("empty path list accepted")
+	}
+	if _, err := engine.MergeCache(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version":999,"entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.MergeCache(bad); err == nil {
+		t.Fatal("version-mismatched file accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package sdpolicy
+
+import (
+	"fmt"
+
+	"sdpolicy/internal/campaign"
+)
+
+// CampaignShard is one self-describing slice of a campaign: the points
+// it owns plus their positions in the original point list. A shard
+// needs no state beyond itself — its points carry their full derivation
+// chains in wire form — so shards can run in separate processes
+// (sdexp -shard i/n job arrays) or on separate machines (the sdserve
+// coordinator), in any order, and still merge byte-identically to a
+// single-process run.
+type CampaignShard struct {
+	// Index is the shard's 0-based number; Of the plan's shard count.
+	Index int `json:"index"`
+	Of    int `json:"of"`
+	// Positions are the original-list positions this shard owns,
+	// ascending; Points[i] is the original point at Positions[i].
+	Positions []int   `json:"positions"`
+	Points    []Point `json:"points"`
+}
+
+// PlanShards deterministically partitions points into n shards such
+// that running each shard independently and merging with
+// MergeShardResults reproduces Engine.Run over the full list exactly.
+// Assignment happens over canonical keys: two spellings of the same
+// simulation (e.g. a legacy malleable_fraction field versus the
+// equivalent leading derivation) always land in one shard, so no point
+// simulates twice across the plan. Every point is validated up front —
+// a shard plan over invalid points would fail only on whichever worker
+// drew them, which is the wrong place to discover a typo.
+func PlanShards(points []Point, n int) ([]CampaignShard, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("sdpolicy: planning %d shards: %w", n, ErrBadInput)
+	}
+	keys := make([]Point, len(points))
+	for i, p := range points {
+		if err := p.validate(); err != nil {
+			return nil, fmt.Errorf("point %d: %w", i, err)
+		}
+		keys[i] = p.canonical()
+	}
+	plan := campaign.Plan(keys, n)
+	shards := make([]CampaignShard, len(plan))
+	for i, s := range plan {
+		cs := CampaignShard{Index: s.Index, Of: s.Of, Positions: s.Positions}
+		cs.Points = make([]Point, len(s.Positions))
+		for j, pos := range s.Positions {
+			cs.Points[j] = points[pos]
+		}
+		shards[i] = cs
+	}
+	return shards, nil
+}
+
+// MergeShardResults reassembles per-shard campaign results into the
+// full slice Engine.Run would return over the original total-length
+// point list: merged[p] is the result for original position p.
+// results[i] must align with shards[i].Positions (the order
+// Engine.Run returns when handed shards[i].Points); shard/result pairs
+// may arrive in any order. Coverage is verified — an unresolved or
+// doubly-resolved position is an error, never a silent nil result.
+func MergeShardResults(total int, shards []CampaignShard, results [][]*Result) ([]*Result, error) {
+	plan := make([]campaign.Shard[Point], len(shards))
+	for i, s := range shards {
+		plan[i] = campaign.Shard[Point]{Index: s.Index, Of: s.Of, Positions: s.Positions, Keys: s.Points}
+	}
+	return campaign.MergeShards(total, plan, results)
+}
