@@ -351,6 +351,12 @@ type PointResult struct {
 	Index  int     `json:"index"`
 	Point  Point   `json:"point"`
 	Result *Result `json:"result"`
+	// Report carries the point's per-job report encoding when the
+	// campaign negotiated report frames (the coordinator's cache-warming
+	// path). It is transport metadata, never part of the result line's
+	// JSON: a delivery with a nil Result and a non-nil Report is a
+	// report-only frame for a previously delivered index.
+	Report json.RawMessage `json:"-"`
 }
 
 // RunStream resolves points like Run while additionally delivering each

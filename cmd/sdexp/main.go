@@ -45,7 +45,10 @@
 //     resolve deterministically and are reported on stderr.
 //   - -server URL sends the campaign to a running sdserve instance
 //     (worker or coordinator) instead of simulating in-process, with
-//     the same input-ordered, byte-identical NDJSON output.
+//     the same input-ordered, byte-identical NDJSON output. Combined
+//     with -cache-dir, per-job report frames are negotiated over the
+//     wire so the proxied results — reports included — are spilled
+//     locally and warm later in-process runs.
 package main
 
 import (
@@ -106,16 +109,20 @@ func main() {
 		})
 	}
 	var cacheFile string
+	var warmRemote bool
 	if *cacheDir != "" && *cache <= 0 {
 		// With the in-memory cache disabled there is nothing to load
 		// into or spill from; saving anyway would overwrite a warmed
 		// spill file with an empty one.
 		fmt.Fprintln(os.Stderr, "sdexp: ignoring -cache-dir: in-memory cache disabled (-cache 0)")
 	} else if *cacheDir != "" && *server != "" {
-		// Remote results never enter the local cache, so loading and
-		// re-spilling the (possibly multi-MB) file here would be pure
-		// dead weight on the proxy path.
-		fmt.Fprintln(os.Stderr, "sdexp: ignoring -cache-dir: campaign runs remotely (-server)")
+		// Remote campaign: the local cache is never consulted, so skip
+		// the load — but negotiate per-job report frames from the server
+		// and prime the local engine with every proxied result, so the
+		// spill-on-exit below warms later local runs (merge-on-save folds
+		// it into whatever the directory already holds).
+		cacheFile = filepath.Join(*cacheDir, sdpolicy.CacheFileName)
+		warmRemote = true
 	} else if *cacheDir != "" {
 		cacheFile = filepath.Join(*cacheDir, sdpolicy.CacheFileName)
 		switch err := engine.LoadCache(cacheFile); {
@@ -161,7 +168,7 @@ func main() {
 	switch {
 	case err != nil:
 	case *points != "":
-		err = runner.runPoints(*points, *shard, *server)
+		err = runner.runPoints(*points, *shard, *server, warmRemote)
 	case *exp == "none":
 		// Cache maintenance only (-merge-cache ... -cache-dir out).
 	default:
@@ -176,6 +183,10 @@ func main() {
 		}
 		if serr != nil {
 			fmt.Fprintln(os.Stderr, "sdexp: saving result cache:", serr)
+		} else {
+			hits, misses := engine.CacheStats()
+			fmt.Fprintf(os.Stderr, "sdexp: cache: %d hits, %d misses this run; spilled %d entries\n",
+				hits, misses, stats.Entries)
 		}
 	}
 	if err != nil {
@@ -197,8 +208,11 @@ func main() {
 // shard outputs interleave by index into exactly the full run's bytes.
 // With serverURL, the campaign executes on a remote sdserve instance
 // (worker or coordinator) and the stream is re-ordered locally — same
-// bytes, remote cycles.
-func (r *runner) runPoints(path, shardSpec, serverURL string) error {
+// bytes, remote cycles. With warm, the remote stream additionally
+// negotiates per-job report frames and primes the local engine cache
+// with every proxied result, so a -cache-dir spill after a remote run
+// warms later local ones.
+func (r *runner) runPoints(path, shardSpec, serverURL string, warm bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -246,7 +260,7 @@ func (r *runner) runPoints(path, shardSpec, serverURL string) error {
 	updates := make(chan sdpolicy.PointResult, len(points))
 	errc := make(chan error, 1)
 	if serverURL != "" {
-		go func() { errc <- streamFromServer(r.ctx, serverURL, points, updates) }()
+		go func() { errc <- streamFromServer(r.ctx, serverURL, r.engine, points, warm, updates) }()
 	} else {
 		go func() {
 			_, err := r.engine.RunStream(r.ctx, points, updates)
@@ -293,10 +307,31 @@ func parseShard(spec string) (index, of int, err error) {
 // the shared /v1/campaign wire client and forwards its stream onto
 // updates, with the same contract as Engine.RunStream: results arrive
 // in completion order, updates closes before returning, and the first
-// error aborts.
-func streamFromServer(ctx context.Context, base string, points []sdpolicy.Point, updates chan<- sdpolicy.PointResult) error {
+// error aborts. With warm, per-job report frames are negotiated and
+// every proxied result is primed — report attached — into engine's
+// cache, making it spillable by SaveCache.
+func streamFromServer(ctx context.Context, base string, engine *sdpolicy.Engine, points []sdpolicy.Point, warm bool, updates chan<- sdpolicy.PointResult) error {
 	defer close(updates)
-	return serve.RunRemoteCampaign(ctx, nil, base, points, func(index int, res *sdpolicy.Result) error {
+	var got map[int]*sdpolicy.Result
+	if warm {
+		got = make(map[int]*sdpolicy.Result, len(points))
+	}
+	return serve.RunRemoteCampaign(ctx, nil, base, points, warm, func(index int, res *sdpolicy.Result, report json.RawMessage) error {
+		if res == nil {
+			// Report frame for an already-delivered result: warm the
+			// local cache with it. Best-effort — a server that never
+			// sends frames just leaves the cache cold.
+			if prev := got[index]; prev != nil {
+				engine.PrimeProxied(points[index], prev, report)
+				// One frame per result: release the reference so a huge
+				// campaign does not hold every Result until the end.
+				delete(got, index)
+			}
+			return nil
+		}
+		if warm {
+			got[index] = res
+		}
 		// Echo our own point value, not the server's parse of it, so
 		// output bytes match a local run exactly.
 		select {

@@ -13,7 +13,10 @@
 //	                    "options":{"policy":"sd"}}, ...]} — streams one
 //	                   result per point (SSE with Accept:
 //	                   text/event-stream or "format":"sse", NDJSON
-//	                   otherwise) plus a terminal done/error event
+//	                   otherwise) plus a terminal done/error event;
+//	                   ?reports=1 adds per-job report frames
+//	POST /v1/workers/register    worker announcement / heartbeat
+//	POST /v1/workers/deregister  graceful worker departure
 //	GET  /healthz
 //
 // All requests share one engine: identical in-flight requests coalesce
@@ -22,15 +25,33 @@
 // requests. Disconnecting from a streaming campaign cancels it
 // mid-simulation and frees its slot. SIGINT/SIGTERM finish open
 // streams with a terminal shutdown event, then drain in-flight
-// requests before exit.
+// requests before exit. -cache-dir persists the result cache across
+// restarts: loaded on start, spilled on shutdown.
 //
-// -peers http://w1:8080,http://w2:8080 turns the instance into a
-// campaign coordinator: /v1/campaign requests are planned into one
-// deterministic shard per worker, fanned out to the listed sdserve
-// instances over the same streaming wire form, and re-merged — with a
-// failed worker's unresolved points requeued to the survivors, so the
-// merged stream matches a single-process run as long as one worker is
-// alive. /v1/simulate and /v1/sweep keep running on the local engine.
+// # Elastic coordinator fleets
+//
+// -peers http://w1:8080,http://w2:8080 (or -coordinator with no static
+// peers at all) turns the instance into a campaign coordinator:
+// /v1/campaign requests are planned into -shards-per-worker
+// deterministic shards per fleet member, handed out work-stealing
+// style to the worker fleet over the same streaming wire form, and
+// re-merged byte-identically to a single-process run. The fleet is
+// elastic three ways:
+//
+//   - A failed worker requeues its unresolved points and is
+//     health-probed (/healthz, exponential backoff) back into rotation
+//     — a worker restart is absorbed, not permanent.
+//   - Workers announce themselves with -join http://coordinator:8080
+//     (heartbeating a TTL'd lease, deregistering on shutdown), so the
+//     fleet can grow and shrink without restarting the coordinator; a
+//     worker joining mid-campaign steals queued shards immediately.
+//   - With -cache-dir the coordinator negotiates per-job report frames
+//     from its workers and spills every proxied result on shutdown, so
+//     the spill warms later local sdexp runs (fig4-9 analyses too).
+//
+// /v1/simulate and /v1/sweep keep running on the local engine;
+// /healthz reports per-peer fleet state (alive|dead|probing,
+// consecutive failures, last error, remaining lease).
 package main
 
 import (
@@ -38,9 +59,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
@@ -52,24 +76,70 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker-pool size")
-		cache    = flag.Int("cache", 512, "result cache capacity in campaign points (0 disables)")
-		inflight = flag.Int("max-inflight", 32, "max concurrently simulating requests")
-		grace    = flag.Duration("grace", 30*time.Second, "shutdown grace period")
-		peers    = flag.String("peers", "", "comma-separated worker sdserve base URLs; when set, /v1/campaign fans out to these instances instead of simulating locally")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker-pool size")
+		cache       = flag.Int("cache", 512, "result cache capacity in campaign points (0 disables)")
+		inflight    = flag.Int("max-inflight", 32, "max concurrently simulating requests")
+		grace       = flag.Duration("grace", 30*time.Second, "shutdown grace period")
+		peers       = flag.String("peers", "", "comma-separated static worker sdserve base URLs; implies coordinator mode")
+		coordinator = flag.Bool("coordinator", false, "enable coordinator mode even with no static -peers (fleet populated by -join registrations)")
+		perWorker   = flag.Int("shards-per-worker", sdpolicy.DefaultShardsPerWorker, "coordinator: campaign shards planned per fleet member (work-stealing granularity)")
+		probeEvery  = flag.Duration("probe-interval", time.Second, "coordinator: health-prober tick for returning dead workers to rotation")
+		leaseTTL    = flag.Duration("lease-ttl", 30*time.Second, "coordinator: default heartbeat lease granted to registering workers; worker: lease requested by -join")
+		join        = flag.String("join", "", "coordinator base URL to register this worker with (heartbeats the lease, deregisters on shutdown)")
+		advertise   = flag.String("advertise", "", "base URL this worker advertises when joining (default http://127.0.0.1:<port> from -addr)")
+		cacheDir    = flag.String("cache-dir", "", "persist the result cache in this directory across restarts; on a coordinator, proxied worker results are spilled too")
 	)
 	flag.Parse()
 
 	engine := sdpolicy.NewEngine(*workers, *cache)
+	var cacheFile string
+	if *cacheDir != "" && *cache <= 0 {
+		fmt.Fprintln(os.Stderr, "sdserve: ignoring -cache-dir: in-memory cache disabled (-cache 0)")
+	} else if *cacheDir != "" {
+		cacheFile = filepath.Join(*cacheDir, sdpolicy.CacheFileName)
+		switch err := engine.LoadCache(cacheFile); {
+		case err == nil:
+		case errors.Is(err, fs.ErrNotExist):
+			// First run: nothing to load yet.
+		default:
+			fmt.Fprintln(os.Stderr, "sdserve: ignoring persisted cache:", err)
+		}
+	}
 	api := serve.New(engine, *inflight)
-	if *peers != "" {
-		urls := strings.Split(*peers, ",")
-		if err := api.EnableCoordinator(urls, nil); err != nil {
+	if *peers != "" || *coordinator {
+		var urls []string
+		if *peers != "" {
+			urls = strings.Split(*peers, ",")
+		}
+		cfg := serve.CoordinatorConfig{
+			Workers:         urls,
+			ShardsPerWorker: *perWorker,
+			ProbeInterval:   *probeEvery,
+			LeaseTTL:        *leaseTTL,
+			WarmCache:       cacheFile != "",
+		}
+		if err := api.EnableCoordinator(cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "sdserve:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "sdserve: coordinating campaigns across %d workers\n", len(urls))
+		fmt.Fprintf(os.Stderr, "sdserve: coordinating campaigns (%d static workers, %d shards/worker, registration open)\n",
+			len(urls), *perWorker)
+	}
+	var self string
+	if *join != "" {
+		var err error
+		if self, err = advertiseURL(*advertise, *addr); err != nil {
+			fmt.Fprintln(os.Stderr, "sdserve:", err)
+			os.Exit(1)
+		}
+		// Joining yourself would register the coordinator into its own
+		// fleet: campaigns would fan out to this instance, re-enter
+		// coordinator mode, and recurse until the in-flight slots 503.
+		if strings.TrimRight(*join, "/") == self {
+			fmt.Fprintf(os.Stderr, "sdserve: -join %s is this instance's own URL; a server cannot join itself\n", self)
+			os.Exit(1)
+		}
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -85,6 +155,18 @@ func main() {
 	fmt.Fprintf(os.Stderr, "sdserve: listening on %s (%d workers, cache %d, max in-flight %d)\n",
 		*addr, *workers, *cache, *inflight)
 
+	joinDone := make(chan struct{})
+	if *join != "" {
+		go func() {
+			defer close(joinDone)
+			serve.JoinLoop(ctx, nil, *join, self, *leaseTTL, func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "sdserve: "+format+"\n", args...)
+			})
+		}()
+	} else {
+		close(joinDone)
+	}
+
 	select {
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "sdserve:", err)
@@ -94,11 +176,27 @@ func main() {
 	fmt.Fprintln(os.Stderr, "sdserve: shutting down, draining in-flight requests")
 	// Finish open /v1/campaign streams with a terminal shutdown event
 	// first, so Shutdown below drains instead of holding them open (or
-	// cutting them) for the whole grace period.
+	// cutting them) for the whole grace period. BeginShutdown also stops
+	// the coordinator's health prober.
 	api.BeginShutdown()
 	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
-	if err := srv.Shutdown(shutCtx); err != nil {
+	err := srv.Shutdown(shutCtx)
+	// The join loop deregisters from its coordinator once ctx is done;
+	// wait so the lease is released before exit.
+	<-joinDone
+	if cacheFile != "" {
+		stats, serr := engine.SaveCache(cacheFile)
+		for _, c := range stats.Conflicts {
+			fmt.Fprintln(os.Stderr, "sdserve: cache conflict:", c)
+		}
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "sdserve: saving result cache:", serr)
+		} else {
+			fmt.Fprintf(os.Stderr, "sdserve: spilled %d cached results to %s\n", stats.Entries, cacheFile)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdserve: shutdown:", err)
 		os.Exit(1)
 	}
@@ -106,4 +204,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sdserve:", err)
 		os.Exit(1)
 	}
+}
+
+// advertiseURL resolves the base URL this worker announces on -join:
+// the explicit -advertise value, or one derived from -addr with a
+// loopback host when the listen address does not name one (":8080" is
+// reachable by the worker's own loopback, which covers the
+// single-machine fleets -join is typically smoke-tested with; real
+// deployments pass -advertise).
+func advertiseURL(advertise, addr string) (string, error) {
+	if advertise != "" {
+		return strings.TrimRight(advertise, "/"), nil
+	}
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("cannot derive -advertise from -addr %q: %w", addr, err)
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port), nil
 }

@@ -44,12 +44,18 @@ type CampaignShutdown struct {
 // handleCampaign validates the point list, then streams one event per
 // completed point followed by exactly one terminal event: done, error,
 // or shutdown. A client disconnect cancels the campaign mid-simulation
-// and frees the request's slot.
+// and frees the request's slot. The ?reports=1 query param negotiates
+// per-job report frames: each result is followed by a report line
+// (NDJSON) / "report" event (SSE) carrying the full per-job report, so
+// a coordinator or sdexp -server run can warm a result cache with
+// entries equivalent to locally simulated ones. Clients that don't ask
+// see an unchanged stream.
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	var req CampaignRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
+	reports := r.URL.Query().Get("reports") == "1"
 	if len(req.Points) == 0 {
 		writeError(w, http.StatusBadRequest, errors.New("missing points"))
 		return
@@ -79,17 +85,46 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	st := newStreamWriter(w, sse)
 	// Buffered for the whole campaign: results completed by shutdown
 	// time are guaranteed to still be deliverable by the drain below.
-	updates := make(chan sdpolicy.PointResult, len(points))
+	// With report frames negotiated each position can deliver twice
+	// (result + report), so the buffer doubles.
+	bufSize := len(points)
+	if reports {
+		bufSize *= 2
+	}
+	updates := make(chan sdpolicy.PointResult, bufSize)
 	errc := make(chan error, 1)
-	// In coordinator mode the campaign fans out to the worker fleet;
-	// otherwise it runs on the local engine. Both close updates before
-	// returning and deliver results in completion order.
+	// In coordinator mode the campaign fans out to the worker fleet
+	// (relaying negotiated report frames as report-only deliveries);
+	// otherwise it runs on the local engine, whose results carry their
+	// reports inline. Both close updates before returning and deliver
+	// results in completion order.
 	run := func(ctx context.Context, pts []sdpolicy.Point, updates chan<- sdpolicy.PointResult) error {
 		_, err := s.engine.RunStream(ctx, pts, updates)
 		return err
 	}
 	if s.coord != nil {
-		run = s.coord.run
+		run = func(ctx context.Context, pts []sdpolicy.Point, updates chan<- sdpolicy.PointResult) error {
+			return s.coord.run(ctx, pts, updates, reports)
+		}
+	}
+	// relay writes one update to the stream: a result line (optionally
+	// followed by its report frame, computed locally outside coordinator
+	// mode) or a coordinator-proxied report-only frame. Returns how many
+	// result lines were written (0 or 1).
+	relay := func(u sdpolicy.PointResult) int {
+		if u.Result == nil {
+			if reports && u.Report != nil {
+				st.event("report", reportFrame{ReportFor: u.Index, Report: u.Report})
+			}
+			return 0
+		}
+		st.event("result", u)
+		if reports && s.coord == nil {
+			if raw, err := u.Result.ReportJSON(); err == nil {
+				st.event("report", reportFrame{ReportFor: u.Index, Report: raw})
+			}
+		}
+		return 1
 	}
 	go func() { errc <- run(ctx, points, updates) }()
 	sent := 0
@@ -104,8 +139,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 				}
 				return
 			}
-			st.event("result", u)
-			sent++
+			sent += relay(u)
 		case <-s.shutdown:
 			cancel()
 			// Deliver whatever already simulated before closing out:
@@ -113,8 +147,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 			// the drain terminates promptly because any remaining
 			// engine sends also select on the now-cancelled ctx.
 			for u := range updates {
-				st.event("result", u)
-				sent++
+				sent += relay(u)
 			}
 			// Report the campaign's real terminal state: it may have
 			// completed (or failed) in the same instant shutdown began,

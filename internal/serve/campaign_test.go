@@ -16,16 +16,19 @@ import (
 )
 
 // campaignLine is one NDJSON line of a /v1/campaign stream: a result
-// line carries Index/Point/Result, the single terminal line carries
-// Done or Shutdown or Error.
+// line carries Index/Point/Result, a negotiated report line carries
+// ReportFor/Report, the single terminal line carries Done or Shutdown
+// or Error.
 type campaignLine struct {
-	Index    *int             `json:"index"`
-	Point    *sdpolicy.Point  `json:"point"`
-	Result   *sdpolicy.Result `json:"result"`
-	Done     bool             `json:"done"`
-	Points   int              `json:"points"`
-	Shutdown bool             `json:"shutdown"`
-	Error    string           `json:"error"`
+	Index     *int             `json:"index"`
+	Point     *sdpolicy.Point  `json:"point"`
+	Result    *sdpolicy.Result `json:"result"`
+	ReportFor *int             `json:"report_for"`
+	Report    json.RawMessage  `json:"report"`
+	Done      bool             `json:"done"`
+	Points    int              `json:"points"`
+	Shutdown  bool             `json:"shutdown"`
+	Error     string           `json:"error"`
 }
 
 func decodeLines(t *testing.T, r *bufio.Scanner) []campaignLine {

@@ -20,9 +20,12 @@ import (
 
 // postCampaign marshals points in the shared PointSpec wire form and
 // opens an NDJSON /v1/campaign stream against base (no trailing
-// slash). The caller owns closing the response body and interpreting
-// non-200 statuses.
-func postCampaign(ctx context.Context, hc *http.Client, base string, points []sdpolicy.Point) (*http.Response, error) {
+// slash). With reports, the ?reports=1 query param negotiates per-job
+// report frames: a worker that understands it follows each result line
+// with a report line, and one that doesn't simply ignores the param —
+// old and new fleet members interoperate either way. The caller owns
+// closing the response body and interpreting non-200 statuses.
+func postCampaign(ctx context.Context, hc *http.Client, base string, points []sdpolicy.Point, reports bool) (*http.Response, error) {
 	body, err := json.Marshal(struct {
 		Points []sdpolicy.Point `json:"points"`
 		Format string           `json:"format"`
@@ -30,7 +33,11 @@ func postCampaign(ctx context.Context, hc *http.Client, base string, points []sd
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/campaign", bytes.NewReader(body))
+	url := base + "/v1/campaign"
+	if reports {
+		url += "?reports=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -39,24 +46,37 @@ func postCampaign(ctx context.Context, hc *http.Client, base string, points []sd
 }
 
 // workerEvent decodes any line of a /v1/campaign NDJSON stream: result
-// lines carry Index/Result, the terminal line carries Done, Shutdown
-// or Error. The echoed point and done-count fields are deliberately
-// not decoded — no consumer reads them.
+// lines carry Index/Result, negotiated report lines carry
+// ReportFor/Report, the terminal line carries Done, Shutdown or Error.
+// The echoed point and done-count fields are deliberately not decoded —
+// no consumer reads them.
 type workerEvent struct {
-	Index    *int             `json:"index"`
-	Result   *sdpolicy.Result `json:"result"`
-	Done     *bool            `json:"done"`
-	Shutdown *bool            `json:"shutdown"`
-	Error    *string          `json:"error"`
+	Index     *int             `json:"index"`
+	Result    *sdpolicy.Result `json:"result"`
+	ReportFor *int             `json:"report_for"`
+	Report    json.RawMessage  `json:"report"`
+	Done      *bool            `json:"done"`
+	Shutdown  *bool            `json:"shutdown"`
+	Error     *string          `json:"error"`
+}
+
+// reportFrame is the negotiated per-job-report stream line (NDJSON
+// line / SSE event "report"): the full report for the result already
+// streamed at index ReportFor. Only emitted when the request carried
+// ?reports=1, so clients that never ask never see it.
+type reportFrame struct {
+	ReportFor int             `json:"report_for"`
+	Report    json.RawMessage `json:"report"`
 }
 
 // eventKind classifies a stream line; the discrimination rules live
-// here once so the two decode loops (RunRemoteCampaign and the
+// here once so the decode loops (RunRemoteCampaign and the
 // coordinator's fan-out) cannot drift apart.
 type eventKind int
 
 const (
 	evResult eventKind = iota
+	evReport
 	evDone
 	evShutdown
 	evError
@@ -67,6 +87,8 @@ func (ev workerEvent) kind() eventKind {
 	switch {
 	case ev.Index != nil:
 		return evResult
+	case ev.ReportFor != nil:
+		return evReport
 	case ev.Done != nil && *ev.Done:
 		return evDone
 	case ev.Shutdown != nil && *ev.Shutdown:
@@ -85,16 +107,21 @@ func readError(base string, resp *http.Response) error {
 }
 
 // RunRemoteCampaign executes points on a remote sdserve instance
-// (worker or coordinator) at base URL, calling emit for each result in
-// completion order with its index into points. Any failure — transport,
-// non-200 status, in-band error or shutdown terminal, emit's own error
-// — aborts the campaign. It backs sdexp -server.
-func RunRemoteCampaign(ctx context.Context, client *http.Client, base string, points []sdpolicy.Point, emit func(index int, res *sdpolicy.Result) error) error {
+// (worker or coordinator) at base URL, calling emit for each stream
+// delivery in completion order: result deliveries carry a non-nil res
+// for points[index], and — when reports is true, negotiating the
+// per-job-report frames — report deliveries follow with a nil res and
+// the report encoding for an index already delivered (feed it to
+// Result.SetReportJSON / Engine.Prime to warm a local cache). Any
+// failure — transport, non-200 status, in-band error or shutdown
+// terminal, emit's own error — aborts the campaign. It backs sdexp
+// -server.
+func RunRemoteCampaign(ctx context.Context, client *http.Client, base string, points []sdpolicy.Point, reports bool, emit func(index int, res *sdpolicy.Result, report json.RawMessage) error) error {
 	if client == nil {
 		client = http.DefaultClient
 	}
 	base = strings.TrimRight(base, "/")
-	resp, err := postCampaign(ctx, client, base, points)
+	resp, err := postCampaign(ctx, client, base, points, reports)
 	if err != nil {
 		return err
 	}
@@ -113,7 +140,16 @@ func RunRemoteCampaign(ctx context.Context, client *http.Client, base string, po
 			if *ev.Index < 0 || *ev.Index >= len(points) || ev.Result == nil {
 				return fmt.Errorf("%s: malformed result line (index %v)", base, *ev.Index)
 			}
-			if err := emit(*ev.Index, ev.Result); err != nil {
+			if err := emit(*ev.Index, ev.Result, nil); err != nil {
+				return err
+			}
+		case evReport:
+			// Best-effort frames: ignore malformed ones rather than
+			// aborting a campaign whose results are fine.
+			if *ev.ReportFor < 0 || *ev.ReportFor >= len(points) || len(ev.Report) == 0 {
+				continue
+			}
+			if err := emit(*ev.ReportFor, nil, ev.Report); err != nil {
 				return err
 			}
 		case evDone:

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"sdpolicy"
 )
@@ -59,15 +60,32 @@ func startWorkers(t *testing.T, n int) []string {
 }
 
 // startCoordinator launches a coordinator sdserve over the workers.
+// The probe interval is an hour — effectively disabling the health
+// prober — so these tests exercise the PR 4 fan-out semantics (a dead
+// worker stays dead for the campaign); the elastic behaviours get
+// their own coverage with short intervals in elastic_test.go.
 func startCoordinator(t *testing.T, workerURLs []string) *httptest.Server {
 	t.Helper()
-	s := New(sdpolicy.NewEngine(1, 0), 4)
-	if err := s.EnableCoordinator(workerURLs, nil); err != nil {
+	srv, _ := startCoordinatorCfg(t, CoordinatorConfig{
+		Workers:       workerURLs,
+		ProbeInterval: time.Hour,
+	})
+	return srv
+}
+
+// startCoordinatorCfg launches a coordinator with full config control,
+// returning the underlying Server too. BeginShutdown is registered as
+// cleanup so the background prober never outlives the test.
+func startCoordinatorCfg(t *testing.T, cfg CoordinatorConfig) (*httptest.Server, *Server) {
+	t.Helper()
+	s := New(sdpolicy.NewEngine(1, 64), 4)
+	if err := s.EnableCoordinator(cfg); err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.BeginShutdown)
 	srv := httptest.NewServer(s.Handler())
 	t.Cleanup(srv.Close)
-	return srv
+	return srv, s
 }
 
 // runCoordinatorCampaign posts the fixed campaign and returns the
@@ -215,7 +233,8 @@ func TestCoordinatorPropagatesDeterministicErrors(t *testing.T) {
 	}
 }
 
-// TestCoordinatorHealthListsPeers: /healthz advertises the fleet.
+// TestCoordinatorHealthListsPeers: /healthz advertises the fleet with
+// per-peer state.
 func TestCoordinatorHealthListsPeers(t *testing.T) {
 	urls := startWorkers(t, 2)
 	coord := startCoordinator(t, urls)
@@ -231,20 +250,33 @@ func TestCoordinatorHealthListsPeers(t *testing.T) {
 	if len(h.Peers) != 2 {
 		t.Fatalf("healthz peers %v, want the 2 workers", h.Peers)
 	}
+	for _, p := range h.Peers {
+		if p.Source != "static" || p.State != "alive" {
+			t.Fatalf("static configured peer reported %+v, want alive static", p)
+		}
+	}
 }
 
 // TestEnableCoordinatorRejectsBadURLs: misconfiguration fails at
-// startup, not on the first campaign.
+// startup, not on the first campaign. An empty static list is NOT a
+// misconfiguration any more — the fleet can be populated entirely by
+// registration — but a campaign against the still-empty fleet fails
+// in-band.
 func TestEnableCoordinatorRejectsBadURLs(t *testing.T) {
-	s := New(sdpolicy.NewEngine(1, 0), 1)
 	for _, urls := range [][]string{
-		{},
 		{"not a url"},
 		{"ftp://example.com"},
 		{"http://"},
 	} {
-		if err := s.EnableCoordinator(urls, nil); err == nil {
+		s := New(sdpolicy.NewEngine(1, 0), 1)
+		if err := s.EnableCoordinator(CoordinatorConfig{Workers: urls, ProbeInterval: time.Hour}); err == nil {
 			t.Fatalf("EnableCoordinator(%v) accepted", urls)
 		}
+	}
+	coord, _ := startCoordinatorCfg(t, CoordinatorConfig{ProbeInterval: time.Hour})
+	resp := postJSON(t, coord.URL+"/v1/campaign", coordCampaignBody)
+	lines := decodeLines(t, bufio.NewScanner(resp.Body))
+	if len(lines) != 1 || lines[0].Error == "" {
+		t.Fatalf("campaign on an empty fleet: lines %+v, want a single terminal error", lines)
 	}
 }

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestProbeDelaySchedule pins the probe backoff: doubling from the
+// base per consecutive failure, saturating at the cap — so a briefly
+// dead worker is re-checked almost immediately while a long-dead one
+// costs one probe per cap interval, never a probe per tick.
+func TestProbeDelaySchedule(t *testing.T) {
+	cases := []struct {
+		failures int
+		want     time.Duration
+	}{
+		{0, 500 * time.Millisecond},
+		{1, 500 * time.Millisecond},
+		{2, time.Second},
+		{3, 2 * time.Second},
+		{4, 4 * time.Second},
+		{5, 8 * time.Second},
+		{6, 16 * time.Second},
+		{7, 30 * time.Second}, // 32s saturates at the cap
+		{8, 30 * time.Second},
+		{100, 30 * time.Second},
+	}
+	for _, c := range cases {
+		if got := probeDelay(c.failures); got != c.want {
+			t.Fatalf("probeDelay(%d) = %v, want %v", c.failures, got, c.want)
+		}
+	}
+}
+
+// testClock gives peerSet tests a manual clock.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestPeers(t *testing.T, static ...string) (*peerSet, *testClock) {
+	t.Helper()
+	ps, err := newPeerSet(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &testClock{t: time.Unix(1000, 0)}
+	ps.now = clock.now
+	return ps, clock
+}
+
+func stateOf(t *testing.T, ps *peerSet, url string) PeerStatus {
+	t.Helper()
+	for _, st := range ps.snapshot() {
+		if st.URL == url {
+			return st
+		}
+	}
+	t.Fatalf("peer %s not in snapshot %+v", url, ps.snapshot())
+	return PeerStatus{}
+}
+
+// TestPeerSetNormalisesAndDeduplicates: static URLs are trimmed and
+// duplicate spellings collapse to one peer.
+func TestPeerSetNormalisesAndDeduplicates(t *testing.T) {
+	ps, _ := newTestPeers(t, " http://w1:9000/ ", "http://w1:9000")
+	if n := ps.fleetSize(); n != 1 {
+		t.Fatalf("fleet size %d, want 1 (duplicate spelling collapsed)", n)
+	}
+	if got := ps.alive(); len(got) != 1 || got[0] != "http://w1:9000" {
+		t.Fatalf("alive = %v, want the normalised URL", got)
+	}
+	if _, err := newPeerSet([]string{"not a url"}); err == nil {
+		t.Fatal("invalid static URL accepted")
+	}
+}
+
+// TestPeerSetFaultProbeRecovery walks the full state cycle: alive →
+// dead (with backoff) → probing (once the backoff elapses) → alive on
+// probe success, with failure counts and last error tracked.
+func TestPeerSetFaultProbeRecovery(t *testing.T) {
+	ps, clock := newTestPeers(t, "http://w1:9000")
+	const u = "http://w1:9000"
+
+	ps.markFault(u, errors.New("connection refused"), false)
+	st := stateOf(t, ps, u)
+	if st.State != peerDead || st.ConsecutiveFailures != 1 || st.LastError == "" {
+		t.Fatalf("after fault: %+v", st)
+	}
+	if len(ps.alive()) != 0 {
+		t.Fatal("faulted peer still in rotation")
+	}
+	// Backoff not yet elapsed: no probe due.
+	if due := ps.probeCandidates(); len(due) != 0 {
+		t.Fatalf("probe due immediately despite backoff: %v", due)
+	}
+	clock.advance(probeDelay(1) + time.Millisecond)
+	due := ps.probeCandidates()
+	if len(due) != 1 || due[0] != u {
+		t.Fatalf("probe candidates %v, want [%s]", due, u)
+	}
+	if st := stateOf(t, ps, u); st.State != peerProbing {
+		t.Fatalf("state %q while probe in flight, want probing", st.State)
+	}
+	// A failed probe re-arms the backoff with one more failure.
+	ps.probeResult(u, errors.New("still down"))
+	if st := stateOf(t, ps, u); st.State != peerDead || st.ConsecutiveFailures != 2 {
+		t.Fatalf("after failed probe: %+v", st)
+	}
+	if due := ps.probeCandidates(); len(due) != 0 {
+		t.Fatal("probe due before the doubled backoff elapsed")
+	}
+	clock.advance(probeDelay(2) + time.Millisecond)
+	if due := ps.probeCandidates(); len(due) != 1 {
+		t.Fatal("probe not due after doubled backoff")
+	}
+	// Success returns the peer to rotation and clears the fault record.
+	ps.probeResult(u, nil)
+	st = stateOf(t, ps, u)
+	if st.State != peerAlive || st.ConsecutiveFailures != 0 || st.LastError != "" {
+		t.Fatalf("after recovery: %+v", st)
+	}
+	if len(ps.alive()) != 1 {
+		t.Fatal("recovered peer not in rotation")
+	}
+}
+
+// TestPeerSetTransientFaultProbesImmediately: a 429/503-style fault
+// skips the backoff — the worker is up, merely refusing work, so it is
+// re-probed at the very next tick.
+func TestPeerSetTransientFaultProbesImmediately(t *testing.T) {
+	ps, _ := newTestPeers(t, "http://w1:9000")
+	ps.markFault("http://w1:9000", errors.New("status 503"), true)
+	if due := ps.probeCandidates(); len(due) != 1 {
+		t.Fatalf("transient fault not probed immediately: %v", due)
+	}
+}
+
+// TestPeerSetLeases: registration grants a TTL'd lease renewed by
+// re-registering (the heartbeat); an unrenewed lease expires and drops
+// the peer; static peers never expire and cannot be deregistered.
+func TestPeerSetLeases(t *testing.T) {
+	ps, clock := newTestPeers(t, "http://static:9000")
+	u, err := ps.register("http://joined:9001/", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != "http://joined:9001" {
+		t.Fatalf("registered URL %q not normalised", u)
+	}
+	st := stateOf(t, ps, u)
+	if st.Source != "registered" || st.State != peerAlive || st.LeaseExpiresInSeconds <= 0 {
+		t.Fatalf("registered peer: %+v", st)
+	}
+	// Heartbeat at half the lease keeps it alive past the original end.
+	clock.advance(30 * time.Second)
+	if _, err := ps.register(u, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(45 * time.Second) // 75s after initial, 45s after renewal
+	ps.expireLeases()
+	if ps.fleetSize() != 2 {
+		t.Fatal("renewed lease expired anyway")
+	}
+	// No further heartbeat: the lease runs out and the peer is dropped.
+	clock.advance(16 * time.Second)
+	ps.expireLeases()
+	if ps.fleetSize() != 1 {
+		t.Fatal("unrenewed lease survived expiry")
+	}
+	if st := stateOf(t, ps, "http://static:9000"); st.Source != "static" {
+		t.Fatalf("survivor: %+v", st)
+	}
+	// Static peers: no lease to expire, no deregistration.
+	clock.advance(24 * time.Hour)
+	ps.expireLeases()
+	if ps.fleetSize() != 1 {
+		t.Fatal("static peer expired")
+	}
+	if err := ps.deregister("http://static:9000"); err == nil {
+		t.Fatal("static peer deregistered")
+	}
+	// Registering an existing static URL revives it without a lease.
+	ps.markFault("http://static:9000", errors.New("down"), false)
+	if _, err := ps.register("http://static:9000", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	st = stateOf(t, ps, "http://static:9000")
+	if st.Source != "static" || st.State != peerAlive || st.LeaseExpiresInSeconds != 0 {
+		t.Fatalf("re-registered static peer: %+v", st)
+	}
+}
+
+// TestPeerSetDeregister removes a registered worker immediately.
+func TestPeerSetDeregister(t *testing.T) {
+	ps, _ := newTestPeers(t)
+	if _, err := ps.register("http://w:9001", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.deregister("http://w:9001/"); err != nil {
+		t.Fatal(err)
+	}
+	if ps.fleetSize() != 0 {
+		t.Fatal("deregistered peer still present")
+	}
+	if err := ps.deregister("http://w:9001"); err == nil {
+		t.Fatal("double deregister accepted")
+	}
+}
+
+// TestPeerSetNotifiesOnRotationEntry: campaign fan-outs subscribe to
+// hear about peers entering rotation — registration and probe recovery
+// must ping, repeated heartbeats of an already-alive peer must not.
+func TestPeerSetNotifiesOnRotationEntry(t *testing.T) {
+	ps, clock := newTestPeers(t, "http://w1:9000")
+	ch := make(chan struct{}, 4)
+	cancel := ps.subscribe(ch)
+	defer cancel()
+	drain := func() int {
+		n := 0
+		for {
+			select {
+			case <-ch:
+				n++
+			default:
+				return n
+			}
+		}
+	}
+	if _, err := ps.register("http://w2:9001", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if n := drain(); n != 1 {
+		t.Fatalf("registration pinged %d times, want 1", n)
+	}
+	// Heartbeat of an alive peer: no rotation change, no ping.
+	if _, err := ps.register("http://w2:9001", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if n := drain(); n != 0 {
+		t.Fatalf("heartbeat pinged %d times, want 0", n)
+	}
+	ps.markFault("http://w1:9000", errors.New("down"), false)
+	clock.advance(time.Minute)
+	ps.probeCandidates()
+	ps.probeResult("http://w1:9000", nil)
+	if n := drain(); n != 1 {
+		t.Fatalf("probe recovery pinged %d times, want 1", n)
+	}
+	// A probe result for a peer deregistered mid-probe is ignored.
+	if err := ps.deregister("http://w2:9001"); err != nil {
+		t.Fatal(err)
+	}
+	ps.probeResult("http://w2:9001", nil)
+	if ps.fleetSize() != 1 {
+		t.Fatal("probe result resurrected a deregistered peer")
+	}
+}

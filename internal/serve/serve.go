@@ -8,8 +8,13 @@
 //	POST /v1/simulate  one simulation point  -> the full Result
 //	POST /v1/sweep     Figures 1-3 campaign  -> normalised SweepRows
 //	POST /v1/campaign  arbitrary point list  -> streamed per-point
-//	                   results (SSE or NDJSON) + terminal event
-//	GET  /healthz      liveness + in-flight, cache and pool statistics
+//	                   results (SSE or NDJSON) + terminal event;
+//	                   ?reports=1 adds per-job report frames
+//	POST /v1/workers/register    announce a worker to a coordinator's
+//	                             fleet / renew its heartbeat lease
+//	POST /v1/workers/deregister  remove a registered worker
+//	GET  /healthz      liveness + in-flight, cache and pool statistics;
+//	                   on a coordinator, per-peer fleet state too
 //
 // Every simulation goes through one shared Engine, so concurrent
 // requests for the same canonical point coalesce into a single run and
@@ -31,6 +36,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sdpolicy"
 )
@@ -66,21 +72,54 @@ func New(engine *sdpolicy.Engine, maxInflight int) *Server {
 	}
 }
 
+// CoordinatorConfig shapes a coordinator's fleet behaviour; the zero
+// value of every field means its documented default.
+type CoordinatorConfig struct {
+	// Workers are the statically configured peer base URLs (-peers).
+	// May be empty: an elastic fleet can be populated entirely by
+	// dynamic registration (/v1/workers/register, sdserve -join).
+	Workers []string
+	// Client performs fan-out and probe requests; nil means a default
+	// timeout-free client (campaign cancellation flows through request
+	// contexts, probes bound themselves).
+	Client *http.Client
+	// ShardsPerWorker is the planning granularity: the campaign is cut
+	// into ShardsPerWorker shards per fleet member and handed out
+	// work-stealing style. <= 0 means sdpolicy.DefaultShardsPerWorker.
+	ShardsPerWorker int
+	// ProbeInterval is the background health prober's tick (default
+	// 1s); ProbeTimeout bounds each /healthz probe (default 2s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// LeaseTTL is the default heartbeat lease granted to registering
+	// workers (default 30s); a worker that stops renewing is dropped
+	// once its lease expires.
+	LeaseTTL time.Duration
+	// WarmCache negotiates per-job report frames from the workers and
+	// primes the coordinator's local engine cache with every proxied
+	// result, so Engine.SaveCache (sdserve -cache-dir) spills a file
+	// that warms later local runs — fig4-9 style analyses included.
+	WarmCache bool
+}
+
 // EnableCoordinator switches /v1/campaign to coordinator mode: rather
-// than simulating locally, campaigns are planned into one shard per
-// worker URL, fanned out over the streaming wire form, and re-merged —
-// with a failed worker's unresolved points requeued to the survivors,
-// so the merged stream is identical to a single-process run as long as
-// one worker survives. The other endpoints (/v1/simulate, /v1/sweep)
-// keep using the local engine. client may be nil for a default
-// timeout-free client (campaign cancellation flows through request
-// contexts, not deadlines). Call before serving requests.
-func (s *Server) EnableCoordinator(workers []string, client *http.Client) error {
-	coord, err := newCoordinator(workers, client)
+// than simulating locally, campaigns are planned into fine-grained
+// shards (ShardsPerWorker per fleet member), handed out work-stealing
+// style to the worker fleet over the streaming wire form, and re-merged
+// — with a failed worker's unresolved points requeued and the worker
+// itself health-probed back into rotation, so a restart is absorbed
+// instead of permanent. It also enables the dynamic registration API
+// (/v1/workers/register, /v1/workers/deregister) and starts the
+// background prober, which runs until BeginShutdown. The other
+// endpoints (/v1/simulate, /v1/sweep) keep using the local engine.
+// Call before serving requests.
+func (s *Server) EnableCoordinator(cfg CoordinatorConfig) error {
+	coord, err := newCoordinator(cfg, s.engine)
 	if err != nil {
 		return err
 	}
 	s.coord = coord
+	go coord.probeLoop(s.shutdown)
 	return nil
 }
 
@@ -90,6 +129,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/simulate", s.handleSimulate)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
 	mux.HandleFunc("/v1/campaign", s.handleCampaign)
+	mux.HandleFunc("/v1/workers/register", s.handleRegister)
+	mux.HandleFunc("/v1/workers/deregister", s.handleDeregister)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	return mux
 }
@@ -134,9 +175,11 @@ type Health struct {
 	CampaignsInFlight int64  `json:"campaigns_in_flight"`
 	CacheHits         uint64 `json:"cache_hits"`
 	CacheMisses       uint64 `json:"cache_misses"`
-	// Peers lists the configured worker base URLs when this instance
-	// runs as a campaign coordinator; empty otherwise.
-	Peers []string `json:"peers,omitempty"`
+	// Peers reports per-peer fleet state — static and registered
+	// workers alike, with alive|dead|probing state, consecutive failure
+	// counts, last error, and remaining heartbeat lease — when this
+	// instance runs as a campaign coordinator; empty otherwise.
+	Peers []PeerStatus `json:"peers,omitempty"`
 }
 
 type apiError struct {
@@ -201,7 +244,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		CacheMisses:       misses,
 	}
 	if s.coord != nil {
-		h.Peers = s.coord.urls
+		h.Peers = s.coord.peers.snapshot()
 	}
 	writeJSON(w, http.StatusOK, h)
 }

@@ -186,6 +186,63 @@ func (e *Engine) LoadCache(path string) error {
 	return nil
 }
 
+// ReportJSON encodes the result's per-job report — the payload behind
+// Daily and the heatmap analyses, which the Result's public JSON
+// deliberately omits. It backs the negotiated report frame of the
+// campaign wire form: a worker attaches the encoding to its stream so
+// a coordinator (or sdexp -server -cache-dir) can reconstruct fully
+// cacheable results from proxied simulations.
+func (r *Result) ReportJSON() ([]byte, error) {
+	return json.Marshal(r.report)
+}
+
+// SetReportJSON is ReportJSON's inverse: it restores the per-job
+// report onto a Result decoded from the wire, making it equivalent to
+// a freshly simulated one — and therefore safe to Prime into a cache
+// that SaveCache will later spill.
+func (r *Result) SetReportJSON(data []byte) error {
+	return json.Unmarshal(data, &r.report)
+}
+
+// Prime inserts an externally computed result for p into the engine's
+// result cache without simulating — the coordinator's path for warming
+// a local cache from results proxied over the campaign wire form. The
+// point is validated and canonicalised exactly as Run would, so a
+// later campaign over the same point (in any spelling) is a cache hit.
+// Priming an engine whose cache is disabled is a no-op. Results meant
+// to survive a SaveCache spill should carry their per-job report
+// (SetReportJSON) first; a report-less result still serves campaign
+// hits but spills an empty report.
+func (e *Engine) Prime(p Point, res *Result) error {
+	if res == nil {
+		return fmt.Errorf("sdpolicy: priming a nil result: %w", ErrBadInput)
+	}
+	if err := p.validate(); err != nil {
+		return err
+	}
+	e.runner.CachePrime([]Point{p.canonical()}, []*Result{res})
+	return nil
+}
+
+// PrimeProxied caches a result that arrived over the campaign wire
+// form — a result line plus its negotiated report frame — cloning res
+// before attaching the report, because the streamed pointer is shared
+// with whatever relay or printer path delivered it to the caller. This
+// is the one place the clone-before-attach invariant lives; the
+// coordinator's fan-out and sdexp -server both warm through it. Like
+// the frames themselves it is best-effort: an undecodable report
+// simply skips priming, only an invalid point is an error.
+func (e *Engine) PrimeProxied(p Point, res *Result, report []byte) error {
+	if res == nil {
+		return fmt.Errorf("sdpolicy: priming a nil result: %w", ErrBadInput)
+	}
+	clone := *res
+	if clone.SetReportJSON(report) != nil {
+		return nil
+	}
+	return e.Prime(p, &clone)
+}
+
 // CacheMergeStats reports what Engine.MergeCache combined.
 type CacheMergeStats struct {
 	// Files is how many spill files were read; Entries how many

@@ -56,6 +56,31 @@ func PlanShards(points []Point, n int) ([]CampaignShard, error) {
 	return shards, nil
 }
 
+// DefaultShardsPerWorker is the shard-granularity factor PlanFleetShards
+// applies when the caller passes perWorker <= 0: four shards per worker
+// keeps the hand-out queue deep enough that heterogeneous-speed workers
+// and late joiners rebalance by stealing, without planning so many
+// shards that per-shard overhead dominates.
+const DefaultShardsPerWorker = 4
+
+// PlanFleetShards plans a campaign for a fleet of `fleet` workers at a
+// granularity of perWorker shards each (DefaultShardsPerWorker when
+// <= 0). Finer-than-fleet shards are what make elastic fleets rebalance:
+// handed out work-stealing style, a fast worker simply takes more of
+// them, and a worker that joins mid-campaign steals from the remaining
+// queue instead of waiting for the next campaign. The merged output is
+// byte-identical to a single-process run regardless of fleet size or
+// granularity — shard assignment only moves work, never changes it.
+func PlanFleetShards(points []Point, fleet, perWorker int) ([]CampaignShard, error) {
+	if fleet <= 0 {
+		return nil, fmt.Errorf("sdpolicy: planning shards for a fleet of %d workers: %w", fleet, ErrBadInput)
+	}
+	if perWorker <= 0 {
+		perWorker = DefaultShardsPerWorker
+	}
+	return PlanShards(points, fleet*perWorker)
+}
+
 // MergeShardResults reassembles per-shard campaign results into the
 // full slice Engine.Run would return over the original total-length
 // point list: merged[p] is the result for original position p.

@@ -127,3 +127,47 @@ func TestCampaignShardWireRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestPlanFleetShards: fleet planning multiplies granularity per
+// worker (defaulting when unset), keeps full positional coverage, and
+// rejects an empty fleet.
+func TestPlanFleetShards(t *testing.T) {
+	points := shardTestPoints()
+	shards, err := PlanFleetShards(points, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 6 {
+		t.Fatalf("%d shards for fleet 3 × 2/worker, want 6", len(shards))
+	}
+	covered := make([]bool, len(points))
+	for _, s := range shards {
+		if s.Of != 6 {
+			t.Fatalf("shard %d declares plan size %d, want 6", s.Index, s.Of)
+		}
+		for _, pos := range s.Positions {
+			if covered[pos] {
+				t.Fatalf("position %d planned twice", pos)
+			}
+			covered[pos] = true
+		}
+	}
+	for pos, ok := range covered {
+		if !ok {
+			t.Fatalf("position %d unplanned", pos)
+		}
+	}
+
+	// perWorker <= 0 falls back to the default granularity.
+	shards, err = PlanFleetShards(points, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2*DefaultShardsPerWorker {
+		t.Fatalf("%d shards with default granularity, want %d", len(shards), 2*DefaultShardsPerWorker)
+	}
+
+	if _, err := PlanFleetShards(points, 0, 4); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("empty fleet: err %v, want ErrBadInput", err)
+	}
+}
