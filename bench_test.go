@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"testing"
 
+	"sdpolicy/internal/sched"
 	"sdpolicy/internal/workload"
 )
 
@@ -284,4 +285,28 @@ func BenchmarkSimulator_SDPolicy(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSimKernel times the discrete-event kernel itself on a
+// mid-size workload and reports raw event throughput — the number the
+// telemetry plane's sim_events_per_second gauge tracks at runtime.
+func BenchmarkSimKernel(b *testing.B) {
+	spec, err := workload.Shared.Get("wl4", benchScale, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sched.Defaults()
+	cfg.Policy = sched.SDPolicy
+	cfg.MaxSlowdown = 10
+	ctx := context.Background()
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sched.RunContext(ctx, *spec, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 }

@@ -61,6 +61,7 @@ import (
 	"io"
 	"io/fs"
 	"math"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -72,6 +73,7 @@ import (
 
 	"sdpolicy"
 	"sdpolicy/internal/serve"
+	"sdpolicy/internal/telemetry"
 	"sdpolicy/internal/viz"
 )
 
@@ -89,6 +91,7 @@ func main() {
 		shard      = flag.String("shard", "", "with -points: run only shard i/n (1-based, e.g. 2/3) of the campaign; lines keep their original indices")
 		mergeCache = flag.String("merge-cache", "", "comma-separated cache dirs (or spill files) merged into the engine cache before running; with -cache-dir the merged cache is spilled back")
 		server     = flag.String("server", "", "with -points: base URL of an sdserve worker or coordinator that runs the campaign instead of this process")
+		debugAddr  = flag.String("debug-addr", "", "optional listen address for net/http/pprof and /metrics (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
 	if *points == "" && (*shard != "" || *server != "") {
@@ -98,6 +101,16 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: serve.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil {
+				fmt.Fprintln(os.Stderr, "sdexp: debug listener:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "sdexp: debug listener on %s (/debug/pprof/, /metrics)\n", *debugAddr)
+	}
 
 	engine := sdpolicy.NewEngine(*workers, *cache)
 	if *progress {
@@ -189,10 +202,23 @@ func main() {
 				hits, misses, stats.Entries)
 		}
 	}
+	if *progress {
+		emitCacheStatsJSON(os.Stderr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdexp:", err)
 		os.Exit(1)
 	}
+}
+
+// emitCacheStatsJSON is the machine-readable counterpart of the human
+// cache line above: one JSON object on its own stderr line, sourced
+// from the process-wide telemetry counters (the same tallies /metrics
+// exposes) rather than a parallel ad-hoc count.
+func emitCacheStatsJSON(w io.Writer) {
+	hits, _ := telemetry.Default.Value("campaign_cache_hits_total")
+	misses, _ := telemetry.Default.Value("campaign_cache_misses_total")
+	fmt.Fprintf(w, "{\"cache_hits\":%d,\"cache_misses\":%d}\n", uint64(hits), uint64(misses))
 }
 
 // runPoints streams an arbitrary campaign — the same format the

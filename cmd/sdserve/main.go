@@ -89,6 +89,7 @@ func main() {
 		join        = flag.String("join", "", "coordinator base URL to register this worker with (heartbeats the lease, deregisters on shutdown)")
 		advertise   = flag.String("advertise", "", "base URL this worker advertises when joining (default http://127.0.0.1:<port> from -addr)")
 		cacheDir    = flag.String("cache-dir", "", "persist the result cache in this directory across restarts; on a coordinator, proxied worker results are spilled too")
+		debugAddr   = flag.String("debug-addr", "", "optional listen address for net/http/pprof and /metrics (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
 
@@ -150,10 +151,21 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: serve.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "sdserve: debug listener:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "sdserve: debug listener on %s (/debug/pprof/, /metrics)\n", *debugAddr)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "sdserve: listening on %s (%d workers, cache %d, max in-flight %d)\n",
-		*addr, *workers, *cache, *inflight)
+	build := serve.BuildInfo()
+	fmt.Fprintf(os.Stderr, "sdserve: version %s (%s, built %s) listening on %s (%d workers, cache %d, max in-flight %d)\n",
+		build.Version, build.Go, buildTimeOrUnknown(build), *addr, *workers, *cache, *inflight)
 
 	joinDone := make(chan struct{})
 	if *join != "" {
@@ -204,6 +216,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sdserve:", err)
 		os.Exit(1)
 	}
+}
+
+// buildTimeOrUnknown renders the build's VCS time for the startup log.
+func buildTimeOrUnknown(b serve.Build) string {
+	if b.Built == "" {
+		return "unknown"
+	}
+	return b.Built
 }
 
 // advertiseURL resolves the base URL this worker announces on -join:

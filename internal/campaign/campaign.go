@@ -34,8 +34,32 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sdpolicy/internal/lru"
+	"sdpolicy/internal/telemetry"
+)
+
+// Campaign-engine telemetry, aggregated across every Runner in the
+// process. The per-runner hits/misses atomics stay authoritative for
+// Stats(); these mirror them globally (hits = cache hits + in-flight
+// joins, matching Stats) so /metrics and sdexp's machine-readable
+// stats line read the same tallies.
+var (
+	mStarted = telemetry.NewCounter("campaign_points_started_total",
+		"Campaign task executions started (cache misses handed to the task function).")
+	mCompleted = telemetry.NewCounter("campaign_points_completed_total",
+		"Campaign task executions that returned a result.")
+	mFailed = telemetry.NewCounter("campaign_points_failed_total",
+		"Campaign task executions that returned an error (including cancellations).")
+	mPointSeconds = telemetry.NewHistogram("campaign_point_seconds",
+		"Wall-clock latency of campaign task executions.", telemetry.DefBuckets)
+	mCacheHits = telemetry.NewCounter("campaign_cache_hits_total",
+		"Task resolutions served without executing: memoised results plus in-flight joins.")
+	mCacheMisses = telemetry.NewCounter("campaign_cache_misses_total",
+		"Task resolutions that executed the task function.")
+	mDedup = telemetry.NewCounter("campaign_singleflight_dedup_total",
+		"Task resolutions that joined an already in-flight execution of the same key.")
 )
 
 // Func computes the result for one task key. It must be deterministic
@@ -281,6 +305,7 @@ func (r *Runner[K, R]) resolve(ctx context.Context, k K) (R, error) {
 	for {
 		if v, ok := r.cache.Get(k); ok {
 			r.hits.Add(1)
+			mCacheHits.Inc()
 			return v, nil
 		}
 		r.mu.Lock()
@@ -295,6 +320,8 @@ func (r *Runner[K, R]) resolve(ctx context.Context, k K) (R, error) {
 					continue
 				}
 				r.hits.Add(1)
+				mCacheHits.Inc()
+				mDedup.Inc()
 				return c.val, c.err
 			case <-ctx.Done():
 				var zero R
@@ -314,10 +341,17 @@ func (r *Runner[K, R]) resolve(ctx context.Context, k K) (R, error) {
 		}
 		if c.err == nil {
 			r.misses.Add(1)
+			mCacheMisses.Inc()
+			mStarted.Inc()
+			begin := time.Now()
 			c.val, c.err = r.fn(ctx, k)
+			mPointSeconds.Observe(time.Since(begin).Seconds())
 			<-r.sem
 			if c.err == nil {
+				mCompleted.Inc()
 				r.cache.Add(k, c.val)
+			} else {
+				mFailed.Inc()
 			}
 		}
 		r.mu.Lock()

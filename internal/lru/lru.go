@@ -8,6 +8,20 @@ package lru
 import (
 	"container/list"
 	"sync"
+
+	"sdpolicy/internal/telemetry"
+)
+
+// Cache telemetry, aggregated across every live cache in the process.
+// A nil cache counts nothing: a disabled cache has no hit rate worth
+// graphing, and the no-op fast path stays allocation- and atomic-free.
+var (
+	mHits = telemetry.NewCounter("lru_hits_total",
+		"LRU lookups that found the key.")
+	mMisses = telemetry.NewCounter("lru_misses_total",
+		"LRU lookups that missed.")
+	mEvictions = telemetry.NewCounter("lru_evictions_total",
+		"Entries evicted because a cache exceeded its capacity.")
 )
 
 type entry[K comparable, V any] struct {
@@ -48,9 +62,11 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
+		mMisses.Inc()
 		var zero V
 		return zero, false
 	}
+	mHits.Inc()
 	c.order.MoveToFront(el)
 	return el.Value.(*entry[K, V]).val, true
 }
@@ -73,6 +89,7 @@ func (c *Cache[K, V]) Add(key K, val V) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*entry[K, V]).key)
+		mEvictions.Inc()
 	}
 }
 

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
+	"time"
 
 	"sdpolicy"
 )
@@ -50,12 +52,20 @@ type CampaignShutdown struct {
 // a coordinator or sdexp -server run can warm a result cache with
 // entries equivalent to locally simulated ones. Clients that don't ask
 // see an unchanged stream.
+//
+// Every campaign gets a campaign ID — X-Campaign-ID from the client,
+// else generated — echoed on the response header, stamped into the log
+// lines here and on every worker the coordinator fans out to, and,
+// with ?trace=1, reported in a terminal "trace" frame summarizing
+// per-shard and per-peer timings (see TraceFrame).
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	var req CampaignRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
 	reports := r.URL.Query().Get("reports") == "1"
+	wantTrace := r.URL.Query().Get("trace") == "1"
+	campaignID := canonicalCampaignID(r.Header.Get("X-Campaign-ID"))
 	if len(req.Points) == 0 {
 		writeError(w, http.StatusBadRequest, errors.New("missing points"))
 		return
@@ -82,6 +92,28 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 
+	mode := "local"
+	if s.coord != nil {
+		mode = "coordinator"
+	}
+	begin := time.Now()
+	slog.Info("campaign start",
+		"campaign_id", campaignID, "points", len(points), "mode", mode, "trace", wantTrace)
+	defer func() {
+		slog.Info("campaign end",
+			"campaign_id", campaignID, "points", len(points), "mode", mode,
+			"duration_ms", time.Since(begin).Milliseconds())
+	}()
+
+	// The trace recorder exists for every campaign that asked for it;
+	// a nil recorder records nothing, so untraced campaigns pay only
+	// nil checks. The ID header must land before newStreamWriter, which
+	// writes the response header block at construction.
+	var tr *traceRecorder
+	if wantTrace {
+		tr = newTraceRecorder()
+	}
+	w.Header().Set("X-Campaign-ID", campaignID)
 	st := newStreamWriter(w, sse)
 	// Buffered for the whole campaign: results completed by shutdown
 	// time are guaranteed to still be deliverable by the drain below.
@@ -99,12 +131,14 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	// reports inline. Both close updates before returning and deliver
 	// results in completion order.
 	run := func(ctx context.Context, pts []sdpolicy.Point, updates chan<- sdpolicy.PointResult) error {
+		runBegin := time.Now()
 		_, err := s.engine.RunStream(ctx, pts, updates)
+		tr.record("local", len(pts), 0, runBegin, err)
 		return err
 	}
 	if s.coord != nil {
 		run = func(ctx context.Context, pts []sdpolicy.Point, updates chan<- sdpolicy.PointResult) error {
-			return s.coord.run(ctx, pts, updates, reports)
+			return s.coord.run(ctx, pts, updates, reports, campaignID, tr)
 		}
 	}
 	// relay writes one update to the stream: a result line (optionally
@@ -128,11 +162,21 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	go func() { errc <- run(ctx, points, updates) }()
 	sent := 0
+	// emitTrace writes the ?trace=1 summary frame; it must precede the
+	// terminal event so clients can rely on done/error/shutdown staying
+	// the stream's last line.
+	emitTrace := func() {
+		if tr != nil {
+			st.event("trace", tr.frame(campaignID, sent))
+		}
+	}
 	for {
 		select {
 		case u, ok := <-updates:
 			if !ok {
-				if err := <-errc; err != nil {
+				err := <-errc
+				emitTrace()
+				if err != nil {
 					st.event("error", apiError{Error: err.Error()})
 				} else {
 					st.event("done", CampaignDone{Done: true, Points: sent})
@@ -153,7 +197,9 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 			// completed (or failed) in the same instant shutdown began,
 			// and only a shutdown-induced cancellation should be
 			// masked by the shutdown event.
-			switch err := <-errc; {
+			err := <-errc
+			emitTrace()
+			switch {
 			case err == nil:
 				st.event("done", CampaignDone{Done: true, Points: sent})
 			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):

@@ -23,9 +23,12 @@ import (
 // slash). With reports, the ?reports=1 query param negotiates per-job
 // report frames: a worker that understands it follows each result line
 // with a report line, and one that doesn't simply ignores the param —
-// old and new fleet members interoperate either way. The caller owns
-// closing the response body and interpreting non-200 statuses.
-func postCampaign(ctx context.Context, hc *http.Client, base string, points []sdpolicy.Point, reports bool) (*http.Response, error) {
+// old and new fleet members interoperate either way. A non-empty
+// campaignID rides the X-Campaign-ID header so the worker logs the
+// same campaign ID the coordinator does; an old worker ignores the
+// header. The caller owns closing the response body and interpreting
+// non-200 statuses.
+func postCampaign(ctx context.Context, hc *http.Client, base string, points []sdpolicy.Point, reports bool, campaignID string) (*http.Response, error) {
 	body, err := json.Marshal(struct {
 		Points []sdpolicy.Point `json:"points"`
 		Format string           `json:"format"`
@@ -42,6 +45,9 @@ func postCampaign(ctx context.Context, hc *http.Client, base string, points []sd
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if campaignID != "" {
+		req.Header.Set("X-Campaign-ID", campaignID)
+	}
 	return hc.Do(req)
 }
 
@@ -58,6 +64,10 @@ type workerEvent struct {
 	Done      *bool            `json:"done"`
 	Shutdown  *bool            `json:"shutdown"`
 	Error     *string          `json:"error"`
+	// Trace marks a ?trace=1 summary frame. Consumers here never ask
+	// for one, but decoding it keeps the loops tolerant of a server
+	// that sends it anyway instead of killing the worker for it.
+	Trace *bool `json:"trace"`
 }
 
 // reportFrame is the negotiated per-job-report stream line (NDJSON
@@ -77,6 +87,7 @@ type eventKind int
 const (
 	evResult eventKind = iota
 	evReport
+	evTrace
 	evDone
 	evShutdown
 	evError
@@ -89,6 +100,8 @@ func (ev workerEvent) kind() eventKind {
 		return evResult
 	case ev.ReportFor != nil:
 		return evReport
+	case ev.Trace != nil && *ev.Trace:
+		return evTrace
 	case ev.Done != nil && *ev.Done:
 		return evDone
 	case ev.Shutdown != nil && *ev.Shutdown:
@@ -121,7 +134,7 @@ func RunRemoteCampaign(ctx context.Context, client *http.Client, base string, po
 		client = http.DefaultClient
 	}
 	base = strings.TrimRight(base, "/")
-	resp, err := postCampaign(ctx, client, base, points, reports)
+	resp, err := postCampaign(ctx, client, base, points, reports, "")
 	if err != nil {
 		return err
 	}
@@ -152,6 +165,8 @@ func RunRemoteCampaign(ctx context.Context, client *http.Client, base string, po
 			if err := emit(*ev.ReportFor, nil, ev.Report); err != nil {
 				return err
 			}
+		case evTrace:
+			// Unrequested trace summary: nothing to merge, skip it.
 		case evDone:
 			return nil
 		case evShutdown:

@@ -123,9 +123,12 @@ func (c *coordinator) probe(u string) {
 
 // shardJob is one unit of fan-out work: the original-campaign positions
 // still unresolved. Jobs shrink on retry — positions whose results
-// already streamed before a worker died are not re-sent.
+// already streamed before a worker died are not re-sent — and carry
+// how many times they have been requeued, reported as the steal count
+// in trace spans.
 type shardJob struct {
 	positions []int
+	steals    int
 }
 
 // shardVerdict classifies how one shard attempt ended.
@@ -145,6 +148,10 @@ type fanout struct {
 	points  []sdpolicy.Point
 	updates chan<- sdpolicy.PointResult
 	cancel  context.CancelFunc
+	// campaignID propagates on every worker hop (X-Campaign-ID); trace
+	// is the campaign's span recorder, nil unless the client asked.
+	campaignID string
+	trace      *traceRecorder
 
 	mu          sync.Mutex
 	pending     []shardJob
@@ -171,7 +178,7 @@ type fanout struct {
 // contract: updates is closed before returning. wantReports relays the
 // negotiated per-job report frames to the client's stream as
 // report-only PointResults.
-func (c *coordinator) run(ctx context.Context, points []sdpolicy.Point, updates chan<- sdpolicy.PointResult, wantReports bool) error {
+func (c *coordinator) run(ctx context.Context, points []sdpolicy.Point, updates chan<- sdpolicy.PointResult, wantReports bool, campaignID string, tr *traceRecorder) error {
 	defer close(updates)
 	c.peers.expireLeases()
 	fleet := c.peers.fleetSize()
@@ -185,14 +192,16 @@ func (c *coordinator) run(ctx context.Context, points []sdpolicy.Point, updates 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	st := &fanout{
-		points:   points,
-		updates:  updates,
-		cancel:   cancel,
-		received: make([]bool, len(points)),
-		reported: make([]bool, len(points)),
-		active:   make(map[string]bool),
-		wake:     make(chan struct{}),
-		done:     make(chan struct{}),
+		points:     points,
+		updates:    updates,
+		cancel:     cancel,
+		campaignID: campaignID,
+		trace:      tr,
+		received:   make([]bool, len(points)),
+		reported:   make([]bool, len(points)),
+		active:     make(map[string]bool),
+		wake:       make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	for _, s := range shards {
 		if len(s.Positions) == 0 {
@@ -201,6 +210,7 @@ func (c *coordinator) run(ctx context.Context, points []sdpolicy.Point, updates 
 		st.outstanding++
 		st.pending = append(st.pending, shardJob{positions: s.Positions})
 	}
+	mShardsQueued.Add(uint64(st.outstanding))
 	if st.outstanding == 0 {
 		return ctx.Err()
 	}
@@ -289,7 +299,12 @@ func (c *coordinator) workerLoop(ctx context.Context, workerURL string, st *fano
 				return
 			}
 		}
+		mShardsStolen.With(workerURL).Inc()
+		mPeerInflight.With(workerURL).Inc()
+		begin := time.Now()
 		remaining, err, verdict := c.runShard(ctx, workerURL, job, st, wantReports)
+		mPeerInflight.With(workerURL).Dec()
+		st.trace.record(workerURL, len(job.positions), job.steals, begin, err)
 		switch {
 		case verdict == verdictOK:
 			st.finishShard()
@@ -306,6 +321,7 @@ func (c *coordinator) workerLoop(ctx context.Context, workerURL string, st *fano
 				st.finishShard()
 				continue
 			}
+			remaining.steals = job.steals + 1
 			st.requeue(remaining)
 			st.release(workerURL)
 			c.peers.markFault(workerURL, err, verdict == verdictTransient)
@@ -341,7 +357,7 @@ func (c *coordinator) runShard(ctx context.Context, workerURL string, job shardJ
 		pts[i] = st.points[pos]
 	}
 	needFrames := wantReports || (c.warmCache && c.engine != nil)
-	resp, err := postCampaign(ctx, c.client, workerURL, pts, needFrames)
+	resp, err := postCampaign(ctx, c.client, workerURL, pts, needFrames, st.campaignID)
 	if err != nil {
 		return job, fmt.Errorf("worker %s: %w", workerURL, err), verdictDead
 	}
@@ -401,6 +417,9 @@ func (c *coordinator) runShard(ctx context.Context, workerURL string, job shardJ
 			if wantReports {
 				st.emitReport(ctx, pos, ev.Report)
 			}
+		case evTrace:
+			// Unrequested trace summary from the worker: skip, the
+			// coordinator assembles its own spans.
 		case evDone:
 			if rem := missing(); len(rem.positions) != 0 {
 				return rem, fmt.Errorf("worker %s: done after %d of %d results",
@@ -440,6 +459,7 @@ func (st *fanout) next() (job shardJob, wait <-chan struct{}, finished bool) {
 // requeue returns a failed shard's unresolved remainder to the queue
 // and wakes idle worker loops to steal it.
 func (st *fanout) requeue(job shardJob) {
+	mShardsRequeued.Inc()
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.pending = append(st.pending, job)

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"sdpolicy/internal/telemetry"
+)
+
+// DebugHandler returns the handler both sdserve and sdexp mount on
+// their opt-in -debug-addr listener: the full net/http/pprof suite
+// under /debug/pprof/ plus a /metrics exposition of the process-wide
+// registry. It is a separate handler — never merged into the public
+// API mux — so profiling stays off unless the operator binds it,
+// typically to localhost.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", telemetry.Default.Handler())
+	return mux
+}
+
+// Build identifies the running binary for /healthz and startup logs.
+type Build struct {
+	// Version is the main module version — a tag for released builds,
+	// "(devel)" for source builds.
+	Version string `json:"version"`
+	// Go is the toolchain that compiled the binary.
+	Go string `json:"go"`
+	// Built is the VCS commit time when the binary was built from a
+	// checkout with stamping enabled; empty otherwise.
+	Built string `json:"built,omitempty"`
+	// Revision is the VCS commit, "+dirty" suffixed for modified trees.
+	Revision string `json:"revision,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo Build
+)
+
+// BuildInfo reports the binary's build identity via
+// runtime/debug.ReadBuildInfo, degrading gracefully (version "unknown",
+// no VCS fields) when the binary was built without module support.
+func BuildInfo() Build {
+	buildOnce.Do(func() {
+		buildInfo = Build{Version: "unknown", Go: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		if bi.GoVersion != "" {
+			buildInfo.Go = bi.GoVersion
+		}
+		var revision, modified string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.time":
+				buildInfo.Built = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			}
+		}
+		if revision != "" {
+			if modified == "true" {
+				revision += "+dirty"
+			}
+			buildInfo.Revision = revision
+		}
+	})
+	return buildInfo
+}

@@ -1,0 +1,20 @@
+package serve
+
+import (
+	"io"
+	"log/slog"
+	"os"
+	"testing"
+)
+
+// TestMain discards the package's structured campaign logs: `go test`
+// merges the test binary's stderr into its stdout, so without this the
+// slog lines from every in-process campaign would interleave with
+// benchmark output (and CI's bench.out parser reads that stream).
+// SDPOLICY_TEST_LOGS=1 restores them when debugging a test.
+func TestMain(m *testing.M) {
+	if os.Getenv("SDPOLICY_TEST_LOGS") == "" {
+		slog.SetDefault(slog.New(slog.NewTextHandler(io.Discard, nil)))
+	}
+	os.Exit(m.Run())
+}

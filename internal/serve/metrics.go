@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"sdpolicy/internal/telemetry"
+)
+
+// Fleet and front-end telemetry. The fleet series carry a peer label
+// (the worker base URL) so a Grafana panel over a 3-worker fleet shows
+// who actually did the work, who kept dying, and who stole the slack.
+var (
+	mShardsQueued = telemetry.NewCounter("fleet_shards_queued_total",
+		"Shard jobs enqueued for fan-out (initial planning; requeues counted separately).")
+	mShardsStolen = telemetry.NewCounterVec("fleet_shards_stolen_total",
+		"Shard jobs taken from the queue, by the peer whose loop took them.", "peer")
+	mShardsRequeued = telemetry.NewCounter("fleet_shards_requeued_total",
+		"Failed shards whose unresolved remainder went back on the queue.")
+	mPeerInflight = telemetry.NewGaugeVec("fleet_peer_inflight",
+		"Shards currently streaming through each peer.", "peer")
+	mPeerTransitions = telemetry.NewCounterVec("fleet_peer_transitions_total",
+		"Peer state machine transitions (new/alive/dead/probing).", "peer", "from", "to")
+	mProbeFailures = telemetry.NewCounterVec("fleet_probe_failures_total",
+		"Health probes that failed, per peer.", "peer")
+	mProbeBackoff = telemetry.NewGaugeVec("fleet_probe_backoff_seconds",
+		"Current re-probe backoff per out-of-rotation peer (0 = in rotation).", "peer")
+	mLeaseRenewals = telemetry.NewCounter("fleet_lease_renewals_total",
+		"Heartbeat lease renewals by registered workers.")
+	mLeaseExpiries = telemetry.NewCounter("fleet_lease_expiries_total",
+		"Registered workers dropped because their lease expired unrenewed.")
+
+	mHTTPRequests = telemetry.NewCounterVec("http_requests_total",
+		"API requests served, by route and status code.", "route", "code")
+	mHTTPSeconds = telemetry.NewHistogramVec("http_request_seconds",
+		"API request latency by route (streaming routes measure the full stream).",
+		telemetry.DefBuckets, "route")
+)
+
+// statusWriter captures the response status for the request counter. It
+// forwards Flush so streaming handlers behind the middleware still
+// reach the client incrementally — newStreamWriter type-asserts
+// http.Flusher on whatever ResponseWriter it is handed.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// instrument wraps one route with request counting and latency
+// observation. The route label is the registered pattern, not the raw
+// URL, so cardinality stays bounded no matter what clients request.
+func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		begin := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		mHTTPRequests.With(route, strconv.Itoa(sw.code)).Inc()
+		mHTTPSeconds.With(route).Observe(time.Since(begin).Seconds())
+	}
+}

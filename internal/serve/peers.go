@@ -88,6 +88,25 @@ type peer struct {
 	leaseEnd  time.Time // registered peers only
 }
 
+// setState moves the peer through its state machine, counting the
+// transition (from "new" on first entry) so /metrics shows each peer's
+// alive↔dead↔probing history. Entering rotation zeroes the backoff
+// gauge. Callers hold the peerSet lock.
+func (p *peer) setState(to string) {
+	from := p.state
+	if from == to {
+		return
+	}
+	if from == "" {
+		from = "new"
+	}
+	mPeerTransitions.With(p.url, from, to).Inc()
+	p.state = to
+	if to == peerAlive {
+		mProbeBackoff.With(p.url).Set(0)
+	}
+}
+
 // peerSet is the mutable fleet membership table. All methods are safe
 // for concurrent use. Subscribers (in-flight campaign fan-outs) get a
 // non-blocking ping whenever a peer enters rotation, so they can spawn
@@ -128,7 +147,9 @@ func newPeerSet(static []string) (*peerSet, error) {
 		if _, dup := ps.peers[u]; dup {
 			continue
 		}
-		ps.peers[u] = &peer{url: u, static: true, state: peerAlive}
+		p := &peer{url: u, static: true}
+		p.setState(peerAlive)
+		ps.peers[u] = p
 		ps.order = append(ps.order, u)
 	}
 	return ps, nil
@@ -176,10 +197,13 @@ func (ps *peerSet) register(raw string, ttl time.Duration) (string, error) {
 		ps.order = append(ps.order, u)
 	}
 	if !p.static {
+		if ok {
+			mLeaseRenewals.Inc()
+		}
 		p.leaseEnd = ps.now().Add(ttl)
 	}
 	wasAlive := p.state == peerAlive
-	p.state = peerAlive
+	p.setState(peerAlive)
 	p.failures = 0
 	p.lastErr = ""
 	if !wasAlive {
@@ -229,6 +253,7 @@ func (ps *peerSet) expireLeases() {
 	for _, u := range append([]string(nil), ps.order...) {
 		p := ps.peers[u]
 		if !p.static && now.After(p.leaseEnd) {
+			mLeaseExpiries.Inc()
 			ps.removeLocked(u)
 		}
 	}
@@ -245,15 +270,18 @@ func (ps *peerSet) markFault(u string, err error, transient bool) {
 	if !ok {
 		return
 	}
-	p.state = peerDead
+	p.setState(peerDead)
 	p.failures++
 	if err != nil {
 		p.lastErr = err.Error()
 	}
 	if transient {
 		p.nextProbe = ps.now()
+		mProbeBackoff.With(u).Set(0)
 	} else {
-		p.nextProbe = ps.now().Add(probeDelay(p.failures))
+		delay := probeDelay(p.failures)
+		p.nextProbe = ps.now().Add(delay)
+		mProbeBackoff.With(u).Set(delay.Seconds())
 	}
 }
 
@@ -268,7 +296,7 @@ func (ps *peerSet) probeCandidates() []string {
 	for _, u := range ps.order {
 		p := ps.peers[u]
 		if p.state == peerDead && !p.nextProbe.After(now) {
-			p.state = peerProbing
+			p.setState(peerProbing)
 			due = append(due, u)
 		}
 	}
@@ -288,16 +316,19 @@ func (ps *peerSet) probeResult(u string, err error) {
 		return
 	}
 	if err == nil {
-		p.state = peerAlive
+		p.setState(peerAlive)
 		p.failures = 0
 		p.lastErr = ""
 		ps.notifyLocked()
 		return
 	}
-	p.state = peerDead
+	mProbeFailures.With(u).Inc()
+	p.setState(peerDead)
 	p.failures++
 	p.lastErr = err.Error()
-	p.nextProbe = ps.now().Add(probeDelay(p.failures))
+	delay := probeDelay(p.failures)
+	p.nextProbe = ps.now().Add(delay)
+	mProbeBackoff.With(u).Set(delay.Seconds())
 }
 
 // alive returns the URLs currently in rotation, in table order.

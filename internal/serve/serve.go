@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"sdpolicy"
+	"sdpolicy/internal/telemetry"
 )
 
 // Server handles the sdserve API on top of a shared campaign engine.
@@ -123,15 +124,18 @@ func (s *Server) EnableCoordinator(cfg CoordinatorConfig) error {
 	return nil
 }
 
-// Handler returns the routed API handler.
+// Handler returns the routed API handler. Every route is wrapped in
+// the request-count/latency middleware; /metrics exposes the
+// process-wide telemetry registry in the Prometheus text format.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/simulate", s.handleSimulate)
-	mux.HandleFunc("/v1/sweep", s.handleSweep)
-	mux.HandleFunc("/v1/campaign", s.handleCampaign)
-	mux.HandleFunc("/v1/workers/register", s.handleRegister)
-	mux.HandleFunc("/v1/workers/deregister", s.handleDeregister)
-	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/simulate", instrument("/v1/simulate", s.handleSimulate))
+	mux.HandleFunc("/v1/sweep", instrument("/v1/sweep", s.handleSweep))
+	mux.HandleFunc("/v1/campaign", instrument("/v1/campaign", s.handleCampaign))
+	mux.HandleFunc("/v1/workers/register", instrument("/v1/workers/register", s.handleRegister))
+	mux.HandleFunc("/v1/workers/deregister", instrument("/v1/workers/deregister", s.handleDeregister))
+	mux.HandleFunc("/healthz", instrument("/healthz", s.handleHealth))
+	mux.Handle("/metrics", telemetry.Default.Handler())
 	return mux
 }
 
@@ -166,8 +170,14 @@ type SweepResponse struct {
 
 // Health is the /healthz reply.
 type Health struct {
-	Status  string `json:"status"`
-	Workers int    `json:"workers"`
+	Status string `json:"status"`
+	// Version, Go, Built and Revision identify the running binary (see
+	// BuildInfo), so a fleet rollout is diagnosable from /healthz alone.
+	Version  string `json:"version"`
+	Go       string `json:"go"`
+	Built    string `json:"built,omitempty"`
+	Revision string `json:"revision,omitempty"`
+	Workers  int    `json:"workers"`
 	// InFlight is how many requests currently hold a simulation slot;
 	// CampaignsInFlight how many of them are streaming /v1/campaign
 	// responses.
@@ -235,8 +245,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hits, misses := s.engine.CacheStats()
+	build := BuildInfo()
 	h := Health{
 		Status:            "ok",
+		Version:           build.Version,
+		Go:                build.Go,
+		Built:             build.Built,
+		Revision:          build.Revision,
 		Workers:           s.engine.Workers(),
 		InFlight:          len(s.slots),
 		CampaignsInFlight: s.campaigns.Load(),

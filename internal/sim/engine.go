@@ -11,6 +11,22 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"time"
+
+	"sdpolicy/internal/telemetry"
+)
+
+// Kernel telemetry. RunCtx accumulates locally and publishes once per
+// run, so the event loop itself stays free of shared-memory traffic.
+var (
+	mEvents = telemetry.NewCounter("sim_events_processed_total",
+		"Discrete events fired across all simulation runs.")
+	mCheckpoints = telemetry.NewCounter("sim_checkpoints_total",
+		"Context-cancellation checkpoints polled by RunCtx.")
+	mRuns = telemetry.NewCounter("sim_runs_total",
+		"Completed RunCtx invocations (including cancelled ones).")
+	mEventRate = telemetry.NewGauge("sim_events_per_second",
+		"Event throughput of the most recent RunCtx invocation.")
 )
 
 // Time is simulated time in seconds since the start of the experiment.
@@ -192,9 +208,22 @@ func (e *Engine) RunCtx(ctx context.Context, every uint64) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	start := time.Now()
+	startRan := e.ran
+	checkpoints := uint64(0)
+	defer func() {
+		fired := e.ran - startRan
+		mEvents.Add(fired)
+		mCheckpoints.Add(checkpoints)
+		mRuns.Inc()
+		if elapsed := time.Since(start).Seconds(); elapsed > 0 && fired > 0 {
+			mEventRate.Set(float64(fired) / elapsed)
+		}
+	}()
 	next := e.ran + every
 	for e.Step() {
 		if e.ran >= next {
+			checkpoints++
 			if err := ctx.Err(); err != nil {
 				return err
 			}
