@@ -90,7 +90,7 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "persist the campaign result cache in this directory across runs")
 		shard      = flag.String("shard", "", "with -points: run only shard i/n (1-based, e.g. 2/3) of the campaign; lines keep their original indices")
 		mergeCache = flag.String("merge-cache", "", "comma-separated cache dirs (or spill files) merged into the engine cache before running; with -cache-dir the merged cache is spilled back")
-		server     = flag.String("server", "", "with -points: base URL of an sdserve worker or coordinator that runs the campaign instead of this process")
+		server     = flag.String("server", "", "with -points: comma-separated base URLs of an sdserve deployment (coordinator plus failover standbys) that runs the campaign instead of this process; the stream resumes across disconnects and failovers")
 		debugAddr  = flag.String("debug-addr", "", "optional listen address for net/http/pprof and /metrics (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
@@ -329,20 +329,30 @@ func parseShard(spec string) (index, of int, err error) {
 	return index, of, nil
 }
 
-// streamFromServer runs the campaign on a remote sdserve instance via
-// the shared /v1/campaign wire client and forwards its stream onto
-// updates, with the same contract as Engine.RunStream: results arrive
-// in completion order, updates closes before returning, and the first
-// error aborts. With warm, per-job report frames are negotiated and
-// every proxied result is primed — report attached — into engine's
-// cache, making it spillable by SaveCache.
-func streamFromServer(ctx context.Context, base string, engine *sdpolicy.Engine, points []sdpolicy.Point, warm bool, updates chan<- sdpolicy.PointResult) error {
+// streamFromServer runs the campaign as a durable /v1/campaigns
+// resource on a remote sdserve deployment — serverList is one or more
+// comma-separated equivalent bases (the coordinator and its failover
+// standbys) — and forwards its stream onto updates, with the same
+// contract as Engine.RunStream: results arrive in completion order,
+// updates closes before returning, and the first error aborts. The
+// durable client reattaches with its ?from= cursor on mid-stream
+// disconnects, server restarts and coordinator failovers, so those are
+// invisible here beyond latency. With warm, per-job report frames are
+// negotiated and every proxied result is primed — report attached —
+// into engine's cache, making it spillable by SaveCache.
+func streamFromServer(ctx context.Context, serverList string, engine *sdpolicy.Engine, points []sdpolicy.Point, warm bool, updates chan<- sdpolicy.PointResult) error {
 	defer close(updates)
+	var bases []string
+	for _, b := range strings.Split(serverList, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			bases = append(bases, b)
+		}
+	}
 	var got map[int]*sdpolicy.Result
 	if warm {
 		got = make(map[int]*sdpolicy.Result, len(points))
 	}
-	return serve.RunRemoteCampaign(ctx, nil, base, points, warm, func(index int, res *sdpolicy.Result, report json.RawMessage) error {
+	return serve.RunDurableCampaign(ctx, nil, bases, points, warm, func(index int, res *sdpolicy.Result, report json.RawMessage) error {
 		if res == nil {
 			// Report frame for an already-delivered result: warm the
 			// local cache with it. Best-effort — a server that never

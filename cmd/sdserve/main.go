@@ -9,15 +9,27 @@
 //	POST /v1/simulate  {"workload":"wl1","scale":0.1,"seed":1,
 //	                    "options":{"policy":"sd","max_slowdown":10}}
 //	POST /v1/sweep     {"workloads":["wl1","wl2"],"scale":0.1,"seed":1}
-//	POST /v1/campaign  {"points":[{"workload":"wl1","scale":0.1,
-//	                    "options":{"policy":"sd"}}, ...]} — streams one
-//	                   result per point (SSE with Accept:
-//	                   text/event-stream or "format":"sse", NDJSON
-//	                   otherwise) plus a terminal done/error event;
+//	POST /v1/campaigns {"points":[{"workload":"wl1","scale":0.1,
+//	                    "options":{"policy":"sd"}}, ...]} — creates a
+//	                   campaign resource (201 + Location) that runs
+//	                   detached from the connection
+//	GET  /v1/campaigns/{id}?from=<seq>  attach to the campaign's frame
+//	                   stream (SSE or NDJSON), resumable from any seq
+//	GET  /v1/campaigns/{id}/status      compact progress
+//	DELETE /v1/campaigns/{id}           cancel
+//	POST /v1/campaign  deprecated byte-compatible alias: one-shot
+//	                   streaming campaign tied to the connection;
 //	                   ?reports=1 adds per-job report frames
 //	POST /v1/workers/register    worker announcement / heartbeat
 //	POST /v1/workers/deregister  graceful worker departure
 //	GET  /healthz
+//
+// With -journal-dir every campaign resource is write-ahead journaled:
+// after a crash or restart the next holder of the directory's
+// coordinator lease (this process, or an sdserve -standby sharing the
+// directory) resumes in-flight campaigns without re-running journaled
+// points, and clients reattach with ?from= for a byte-identical
+// continuation of the stream they lost.
 //
 // All requests share one engine: identical in-flight requests coalesce
 // into a single simulation, repeated points are served from the LRU
@@ -71,6 +83,7 @@ import (
 	"time"
 
 	"sdpolicy"
+	"sdpolicy/internal/journal"
 	"sdpolicy/internal/serve"
 )
 
@@ -86,12 +99,19 @@ func main() {
 		perWorker   = flag.Int("shards-per-worker", sdpolicy.DefaultShardsPerWorker, "coordinator: campaign shards planned per fleet member (work-stealing granularity)")
 		probeEvery  = flag.Duration("probe-interval", time.Second, "coordinator: health-prober tick for returning dead workers to rotation")
 		leaseTTL    = flag.Duration("lease-ttl", 30*time.Second, "coordinator: default heartbeat lease granted to registering workers; worker: lease requested by -join")
-		join        = flag.String("join", "", "coordinator base URL to register this worker with (heartbeats the lease, deregisters on shutdown)")
+		join        = flag.String("join", "", "comma-separated coordinator base URLs to register this worker with (heartbeats the lease against whichever answers, deregisters on shutdown); list the active coordinator and its standbys")
 		advertise   = flag.String("advertise", "", "base URL this worker advertises when joining (default http://127.0.0.1:<port> from -addr)")
 		cacheDir    = flag.String("cache-dir", "", "persist the result cache in this directory across restarts; on a coordinator, proxied worker results are spilled too")
+		journalDir  = flag.String("journal-dir", "", "write-ahead journal directory for /v1/campaigns resources; enables crash/failover recovery and the coordinator lease (share it between the active coordinator and its standbys)")
+		journalTTL  = flag.Duration("journal-lease", 15*time.Second, "coordinator lease TTL inside -journal-dir; a standby adopts the journal after the lease goes this long without a refresh")
+		standby     = flag.Bool("standby", false, "start as a failover standby: serve requests but keep the campaign plane inactive until the -journal-dir coordinator lease is acquired (requires -journal-dir)")
 		debugAddr   = flag.String("debug-addr", "", "optional listen address for net/http/pprof and /metrics (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
+	if *standby && *journalDir == "" {
+		fmt.Fprintln(os.Stderr, "sdserve: -standby requires -journal-dir (the lease and journal to adopt live there)")
+		os.Exit(1)
+	}
 
 	engine := sdpolicy.NewEngine(*workers, *cache)
 	var cacheFile string
@@ -108,6 +128,23 @@ func main() {
 		}
 	}
 	api := serve.New(engine, *inflight)
+	var jnl *journal.Journal
+	if *journalDir != "" {
+		var err error
+		if jnl, err = journal.Open(*journalDir); err != nil {
+			fmt.Fprintln(os.Stderr, "sdserve:", err)
+			os.Exit(1)
+		}
+		// Demotes the campaign plane to standby until the coordinator
+		// lease below is acquired; must precede serving requests.
+		api.EnableJournal(jnl)
+		role := "active candidate"
+		if *standby {
+			role = "standby"
+		}
+		fmt.Fprintf(os.Stderr, "sdserve: journaling campaigns in %s (%s; lease TTL %v)\n",
+			*journalDir, role, *journalTTL)
+	}
 	if *peers != "" || *coordinator {
 		var urls []string
 		if *peers != "" {
@@ -128,18 +165,26 @@ func main() {
 			len(urls), *perWorker)
 	}
 	var self string
+	var joinBases []string
 	if *join != "" {
 		var err error
 		if self, err = advertiseURL(*advertise, *addr); err != nil {
 			fmt.Fprintln(os.Stderr, "sdserve:", err)
 			os.Exit(1)
 		}
-		// Joining yourself would register the coordinator into its own
-		// fleet: campaigns would fan out to this instance, re-enter
-		// coordinator mode, and recurse until the in-flight slots 503.
-		if strings.TrimRight(*join, "/") == self {
-			fmt.Fprintf(os.Stderr, "sdserve: -join %s is this instance's own URL; a server cannot join itself\n", self)
-			os.Exit(1)
+		for _, base := range strings.Split(*join, ",") {
+			base = strings.TrimSpace(base)
+			if base == "" {
+				continue
+			}
+			// Joining yourself would register the coordinator into its own
+			// fleet: campaigns would fan out to this instance, re-enter
+			// coordinator mode, and recurse until the in-flight slots 503.
+			if strings.TrimRight(base, "/") == self {
+				fmt.Fprintf(os.Stderr, "sdserve: -join %s is this instance's own URL; a server cannot join itself\n", self)
+				os.Exit(1)
+			}
+			joinBases = append(joinBases, base)
 		}
 	}
 	srv := &http.Server{
@@ -168,15 +213,45 @@ func main() {
 		build.Version, build.Go, buildTimeOrUnknown(build), *addr, *workers, *cache, *inflight)
 
 	joinDone := make(chan struct{})
-	if *join != "" {
+	if len(joinBases) > 0 {
 		go func() {
 			defer close(joinDone)
-			serve.JoinLoop(ctx, nil, *join, self, *leaseTTL, func(format string, args ...any) {
+			serve.JoinLoop(ctx, nil, joinBases, self, *leaseTTL, func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "sdserve: "+format+"\n", args...)
 			})
 		}()
 	} else {
 		close(joinDone)
+	}
+
+	// With a journal, the campaign plane opens only once this process
+	// holds the directory's coordinator lease: an active coordinator gets
+	// it immediately, a -standby blocks here until the active's lease
+	// expires (crash) or is released (graceful exit), then adopts the
+	// journal and persisted peer table and resumes in-flight campaigns.
+	leasec := make(chan *journal.Lease, 1)
+	if jnl != nil {
+		go func() {
+			acquire := jnl.AcquireLease
+			if *standby {
+				// A standby never creates the lease from nothing: it waits
+				// for the active's lease to appear, then takes over when it
+				// goes stale or is released. Otherwise a standby that boots
+				// faster than its active would win the initial election.
+				acquire = jnl.AwaitLease
+			}
+			lease, err := acquire(ctx, *journalTTL)
+			if err != nil {
+				if ctx.Err() == nil {
+					fmt.Fprintln(os.Stderr, "sdserve: acquiring coordinator lease:", err)
+				}
+				return
+			}
+			leasec <- lease
+			stats := api.Activate()
+			fmt.Fprintf(os.Stderr, "sdserve: journal: lease acquired; adopted %d peers, resumed %d campaigns (%d journaled results skipped), %d completed campaigns attachable\n",
+				stats.AdoptedPeers, stats.Resumed, stats.SkippedPoints, stats.Completed)
+		}()
 	}
 
 	select {
@@ -197,6 +272,14 @@ func main() {
 	// The join loop deregisters from its coordinator once ctx is done;
 	// wait so the lease is released before exit.
 	<-joinDone
+	// Release the coordinator lease (if this instance ever acquired it)
+	// so a standby takes over immediately instead of waiting out the TTL.
+	select {
+	case lease := <-leasec:
+		lease.Release()
+		fmt.Fprintln(os.Stderr, "sdserve: journal: coordinator lease released")
+	default:
+	}
 	if cacheFile != "" {
 		stats, serr := engine.SaveCache(cacheFile)
 		for _, c := range stats.Conflicts {

@@ -101,3 +101,34 @@ func MergeShards[K comparable, R any](total int, shards []Shard[K], results [][]
 	}
 	return merged, nil
 }
+
+// Remaining computes the resume set of a checkpointed campaign: the
+// positions in [0, total) not covered by done, ascending. It is the
+// merge-side complement of a journal's completion checkpoints — a
+// resumed campaign runs exactly the remaining positions, and together
+// with the journaled results they re-cover every position exactly
+// once, which MergeShards then verifies. A checkpoint position out of
+// range or recorded twice is corrupt state and an error, never
+// silently dropped.
+func Remaining(total int, done []int) ([]int, error) {
+	if total < 0 {
+		return nil, fmt.Errorf("campaign: resuming a campaign of %d positions", total)
+	}
+	seen := make([]bool, total)
+	for _, p := range done {
+		if p < 0 || p >= total {
+			return nil, fmt.Errorf("campaign: checkpoint position %d out of range [0,%d)", p, total)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("campaign: checkpoint position %d recorded twice", p)
+		}
+		seen[p] = true
+	}
+	rest := make([]int, 0, total-len(done))
+	for p, ok := range seen {
+		if !ok {
+			rest = append(rest, p)
+		}
+	}
+	return rest, nil
+}

@@ -146,3 +146,25 @@ func TestPlanEmptyAndOversized(t *testing.T) {
 		t.Fatalf("empty plan merge: %v, %v", merged, err)
 	}
 }
+
+func TestRemaining(t *testing.T) {
+	rest, err := Remaining(5, []int{1, 3})
+	if err != nil || len(rest) != 3 || rest[0] != 0 || rest[1] != 2 || rest[2] != 4 {
+		t.Fatalf("Remaining = %v, %v", rest, err)
+	}
+	if rest, err = Remaining(3, nil); err != nil || len(rest) != 3 {
+		t.Fatalf("empty checkpoint set: %v, %v", rest, err)
+	}
+	if rest, err = Remaining(2, []int{0, 1}); err != nil || len(rest) != 0 {
+		t.Fatalf("fully checkpointed: %v, %v", rest, err)
+	}
+	if _, err = Remaining(2, []int{2}); err == nil {
+		t.Fatal("out-of-range checkpoint accepted")
+	}
+	if _, err = Remaining(2, []int{-1}); err == nil {
+		t.Fatal("negative checkpoint accepted")
+	}
+	if _, err = Remaining(3, []int{1, 1}); err == nil {
+		t.Fatal("duplicate checkpoint accepted")
+	}
+}

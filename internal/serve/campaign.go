@@ -59,6 +59,14 @@ type CampaignShutdown struct {
 // with ?trace=1, reported in a terminal "trace" frame summarizing
 // per-shard and per-peer timings (see TraceFrame).
 func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	if !s.active.Load() {
+		writeError(w, http.StatusServiceUnavailable, errStandby)
+		return
+	}
+	// The resource API supersedes this endpoint; keep the body and the
+	// stream byte-compatible, advertise the successor out-of-band.
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1/campaigns>; rel="successor-version"`)
 	var req CampaignRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -265,6 +273,18 @@ func (sw *streamWriter) event(name string, v any) {
 		fmt.Fprintf(sw.w, "event: %s\ndata: %s\n\n", name, b)
 	} else {
 		fmt.Fprintf(sw.w, "%s\n", b)
+	}
+	sw.flush()
+}
+
+// rawEvent writes one pre-marshalled payload — the campaign resource
+// plane's path, where the frame bytes are fixed at append time (and in
+// the journal) and every attach must replay them identically.
+func (sw *streamWriter) rawEvent(name string, data []byte) {
+	if sw.sse {
+		fmt.Fprintf(sw.w, "event: %s\ndata: %s\n\n", name, data)
+	} else {
+		fmt.Fprintf(sw.w, "%s\n", data)
 	}
 	sw.flush()
 }

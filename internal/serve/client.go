@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"sdpolicy"
 )
@@ -118,6 +120,209 @@ func readError(base string, resp *http.Response) error {
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	return fmt.Errorf("%s: status %d: %s", base, resp.StatusCode, bytes.TrimSpace(msg))
 }
+
+// streamFrame decodes any line of a /v1/campaigns/{id} NDJSON stream.
+// Unlike the alias's workerEvent, every campaign frame carries a
+// monotonic Seq — the reattach cursor — and the terminal error is the
+// structured ErrorDetail, not a bare string.
+type streamFrame struct {
+	Seq       uint64           `json:"seq"`
+	Index     *int             `json:"index"`
+	Result    *sdpolicy.Result `json:"result"`
+	ReportFor *int             `json:"report_for"`
+	Report    json.RawMessage  `json:"report"`
+	Done      *bool            `json:"done"`
+	Cancelled *bool            `json:"cancelled"`
+	Shutdown  *bool            `json:"shutdown"`
+	Error     *ErrorDetail     `json:"error"`
+}
+
+// durable-campaign client retry tuning: transient failures (connection
+// refused, 503 from a standby, a mid-stream disconnect) rotate to the
+// next base and back off exponentially; any successfully decoded frame
+// resets the clock. The cap bounds a total outage to roughly a minute.
+const (
+	durableBackoffBase = 100 * time.Millisecond
+	durableBackoffMax  = 2 * time.Second
+	durableMaxFailures = 30
+)
+
+// RunDurableCampaign executes points as a /v1/campaigns resource
+// against a set of equivalent server bases (the active coordinator and
+// its failover standbys), calling emit exactly like RunRemoteCampaign:
+// result deliveries in completion order, then — with reports — per-job
+// report deliveries.
+//
+// Where RunRemoteCampaign aborts on any interruption, this client
+// rides through them: it creates the campaign once (a 409 means the
+// create landed before a previous attempt was cut off — it attaches),
+// then streams frames, and on a disconnect, server shutdown frame, or
+// coordinator failover reattaches — to any base — with ?from=<last
+// seq>, deduplicating by point index so the merged emit sequence is
+// identical to an uninterrupted run. It gives up only on deterministic
+// failures (bad request, the campaign's own terminal error or
+// cancellation) or after durableMaxFailures consecutive transient ones.
+func RunDurableCampaign(ctx context.Context, client *http.Client, bases []string, points []sdpolicy.Point, reports bool, emit func(index int, res *sdpolicy.Result, report json.RawMessage) error) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if len(bases) == 0 {
+		return errors.New("no server bases")
+	}
+	for i, b := range bases {
+		bases[i] = strings.TrimRight(b, "/")
+	}
+	id := newCampaignID()
+	cur, failures := 0, 0
+	// transient sleeps out the backoff for one more transient failure,
+	// or gives up once the budget is spent.
+	transient := func(err error) error {
+		failures++
+		if failures >= durableMaxFailures {
+			return fmt.Errorf("giving up after %d consecutive failures: %w", failures, err)
+		}
+		cur = (cur + 1) % len(bases)
+		delay := durableBackoffBase << (failures - 1)
+		if delay > durableBackoffMax || delay <= 0 {
+			delay = durableBackoffMax
+		}
+		select {
+		case <-time.After(delay):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+
+	// Create the resource. The ID is client-chosen so a retry against
+	// another base (or after an ambiguous failure) is idempotent: 409
+	// means some earlier attempt won, which is success.
+	body, err := json.Marshal(struct {
+		Points  []sdpolicy.Point `json:"points"`
+		Reports bool             `json:"reports,omitempty"`
+	}{Points: points, Reports: reports})
+	if err != nil {
+		return err
+	}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			bases[cur]+"/v1/campaigns", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Campaign-ID", id)
+		resp, err := client.Do(req)
+		if err == nil {
+			status := resp.StatusCode
+			var ferr error
+			if status != http.StatusCreated && status != http.StatusConflict {
+				ferr = readError(bases[cur], resp)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if ferr == nil {
+				break
+			}
+			if status == http.StatusBadRequest || status == http.StatusNotFound ||
+				status == http.StatusMethodNotAllowed {
+				// Deterministic: every retry would fail identically.
+				return ferr
+			}
+			err = ferr
+		}
+		if terr := transient(err); terr != nil {
+			return terr
+		}
+	}
+
+	// Attach, emitting deduplicated frames; reattach from the cursor on
+	// every transient interruption.
+	var lastSeq uint64
+	seen := make(map[int]bool)
+	seenReport := make(map[int]bool)
+	for {
+		ferr := func() error {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+				fmt.Sprintf("%s/v1/campaigns/%s?from=%d", bases[cur], id, lastSeq), nil)
+			if err != nil {
+				return err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err := readError(bases[cur], resp)
+				if resp.StatusCode == http.StatusBadRequest {
+					return &fatalStreamError{err}
+				}
+				return err
+			}
+			dec := json.NewDecoder(resp.Body)
+			for {
+				var f streamFrame
+				if err := dec.Decode(&f); err != nil {
+					return fmt.Errorf("%s: stream ended early: %w", bases[cur], err)
+				}
+				if f.Seq > 0 {
+					lastSeq = f.Seq
+					failures = 0
+				}
+				switch {
+				case f.Index != nil:
+					if *f.Index < 0 || *f.Index >= len(points) || f.Result == nil {
+						return &fatalStreamError{fmt.Errorf("%s: malformed result frame (index %v)", bases[cur], *f.Index)}
+					}
+					if seen[*f.Index] {
+						continue
+					}
+					seen[*f.Index] = true
+					if err := emit(*f.Index, f.Result, nil); err != nil {
+						return &fatalStreamError{err}
+					}
+				case f.ReportFor != nil:
+					if *f.ReportFor < 0 || *f.ReportFor >= len(points) || len(f.Report) == 0 || seenReport[*f.ReportFor] {
+						continue
+					}
+					seenReport[*f.ReportFor] = true
+					if err := emit(*f.ReportFor, nil, f.Report); err != nil {
+						return &fatalStreamError{err}
+					}
+				case f.Done != nil && *f.Done:
+					return nil
+				case f.Cancelled != nil && *f.Cancelled:
+					return &fatalStreamError{fmt.Errorf("campaign %s was cancelled", id)}
+				case f.Error != nil && f.Seq > 0:
+					return &fatalStreamError{fmt.Errorf("campaign %s failed: %s: %s", id, f.Error.Code, f.Error.Message)}
+				case f.Shutdown != nil && *f.Shutdown:
+					return fmt.Errorf("%s shut down mid-stream", bases[cur])
+				}
+				// Unknown frame kinds are skipped (the cursor already
+				// advanced): a newer server may add informational frames.
+			}
+		}()
+		if ferr == nil {
+			return nil
+		}
+		var fatal *fatalStreamError
+		if errors.As(ferr, &fatal) {
+			return fatal.err
+		}
+		if terr := transient(ferr); terr != nil {
+			return terr
+		}
+	}
+}
+
+// fatalStreamError marks a durable-campaign failure no reattach can
+// fix: the campaign itself ended badly or the server rejected the
+// request deterministically.
+type fatalStreamError struct{ err error }
+
+func (e *fatalStreamError) Error() string { return e.err.Error() }
+func (e *fatalStreamError) Unwrap() error { return e.err }
 
 // RunRemoteCampaign executes points on a remote sdserve instance
 // (worker or coordinator) at base URL, calling emit for each stream

@@ -349,7 +349,7 @@ func TestJoinLoopRegistersHeartbeatsAndDeregisters(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		JoinLoop(ctx, nil, coord.URL, worker, time.Second, t.Logf)
+		JoinLoop(ctx, nil, []string{coord.URL}, worker, time.Second, t.Logf)
 	}()
 	waitPeerCount(t, coord.URL, 1)
 	// Outlive the initial 1s lease: heartbeats must keep renewing it.

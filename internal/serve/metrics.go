@@ -31,6 +31,21 @@ var (
 	mLeaseExpiries = telemetry.NewCounter("fleet_lease_expiries_total",
 		"Registered workers dropped because their lease expired unrenewed.")
 
+	mCampaignsCreated = telemetry.NewCounter("campaigns_created_total",
+		"Campaign resources created via POST /v1/campaigns.")
+	mCampaignAttaches = telemetry.NewCounter("campaign_attaches_total",
+		"Stream attaches to campaign resources (GET /v1/campaigns/{id}), including reattaches.")
+	mCampaignsResumed = telemetry.NewCounter("campaigns_resumed_total",
+		"Incomplete journaled campaigns restarted by Activate (server restart or failover adoption).")
+	mResumeSkipped = telemetry.NewCounter("campaign_resume_points_skipped_total",
+		"Points NOT re-dispatched on campaign resume because their result was already journaled.")
+	mJournalRecords = telemetry.NewCounter("journal_records_total",
+		"Records appended to campaign journals (create records included).")
+	mAdoptions = telemetry.NewCounter("failover_adoptions_total",
+		"Times this instance activated the campaign plane (lease acquisitions, incl. startup).")
+	mLeaseHeld = telemetry.NewGauge("coordinator_lease_held",
+		"1 while this instance holds the coordinator lease (active), 0 on standby.")
+
 	mHTTPRequests = telemetry.NewCounterVec("http_requests_total",
 		"API requests served, by route and status code.", "route", "code")
 	mHTTPSeconds = telemetry.NewHistogramVec("http_request_seconds",

@@ -119,6 +119,36 @@ type peerSet struct {
 	order []string
 	now   func() time.Time
 	subs  map[chan struct{}]struct{}
+	// persist, when set, is called (outside the lock) with the full
+	// registered-worker URL list after every membership change, so a
+	// journal-backed coordinator can spill the fleet for failover
+	// adoption. Static peers are configuration and are not included.
+	persist func([]string)
+}
+
+// setPersist installs the membership spill hook.
+func (ps *peerSet) setPersist(fn func([]string)) {
+	ps.mu.Lock()
+	ps.persist = fn
+	ps.mu.Unlock()
+}
+
+// persistFlushLocked snapshots the registered (non-static) URLs and
+// returns a closure that hands them to the persist hook. Callers hold
+// ps.mu and must run the closure after unlocking — the hook does file
+// I/O and must not stall the table. Returns nil when no hook is set.
+func (ps *peerSet) persistFlushLocked() func() {
+	if ps.persist == nil {
+		return nil
+	}
+	urls := make([]string, 0, len(ps.order))
+	for _, u := range ps.order {
+		if !ps.peers[u].static {
+			urls = append(urls, u)
+		}
+	}
+	fn := ps.persist
+	return func() { fn(urls) }
 }
 
 // normalizeWorkerURL validates and normalises a worker base URL.
@@ -188,6 +218,14 @@ func (ps *peerSet) register(raw string, ttl time.Duration) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	// Deferred in this order so flush (set only on membership change)
+	// runs after the unlock: LIFO puts the Unlock first.
+	var flush func()
+	defer func() {
+		if flush != nil {
+			flush()
+		}
+	}()
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	p, ok := ps.peers[u]
@@ -195,6 +233,7 @@ func (ps *peerSet) register(raw string, ttl time.Duration) (string, error) {
 		p = &peer{url: u}
 		ps.peers[u] = p
 		ps.order = append(ps.order, u)
+		flush = ps.persistFlushLocked()
 	}
 	if !p.static {
 		if ok {
@@ -219,6 +258,12 @@ func (ps *peerSet) deregister(raw string) error {
 	if err != nil {
 		return err
 	}
+	var flush func()
+	defer func() {
+		if flush != nil {
+			flush()
+		}
+	}()
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	p, ok := ps.peers[u]
@@ -229,6 +274,7 @@ func (ps *peerSet) deregister(raw string) error {
 		return fmt.Errorf("worker %s is a static peer; remove it from -peers instead", u)
 	}
 	ps.removeLocked(u)
+	flush = ps.persistFlushLocked()
 	return nil
 }
 
@@ -247,6 +293,12 @@ func (ps *peerSet) removeLocked(u string) {
 // the worker stopped renewing, so it is gone, not merely unhealthy, and
 // probing it forever would leak table entries.
 func (ps *peerSet) expireLeases() {
+	var flush func()
+	defer func() {
+		if flush != nil {
+			flush()
+		}
+	}()
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	now := ps.now()
@@ -255,6 +307,7 @@ func (ps *peerSet) expireLeases() {
 		if !p.static && now.After(p.leaseEnd) {
 			mLeaseExpiries.Inc()
 			ps.removeLocked(u)
+			flush = ps.persistFlushLocked()
 		}
 	}
 }

@@ -94,6 +94,14 @@ func (s *Server) decodeRegistration(w http.ResponseWriter, r *http.Request) (Reg
 		writeError(w, http.StatusConflict, errors.New("this instance is not a coordinator; point -join at one"))
 		return req, false
 	}
+	// A journal-backed standby refuses registrations so workers stick
+	// with the active coordinator (whose peers.json the standby adopts
+	// on failover); a worker's multi-base JoinLoop rotates here — and
+	// is accepted — only once this instance holds the lease.
+	if s.journal != nil && !s.active.Load() {
+		writeError(w, http.StatusServiceUnavailable, errStandby)
+		return req, false
+	}
 	if !s.decode(w, r, &req) {
 		return req, false
 	}
@@ -155,40 +163,67 @@ func postRegistration(ctx context.Context, client *http.Client, base, path strin
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// JoinLoop keeps the worker at self registered with the coordinator at
-// base until ctx ends, then deregisters: the client half of elastic
-// fleet membership, backing sdserve -join. It registers immediately,
-// heartbeats at a third of the granted lease TTL (so two heartbeats can
-// be lost before the lease expires), retries failed announcements at
-// the same cadence, and reports state changes through logf (which may
-// be nil). JoinLoop returns once the final deregistration completes.
-func JoinLoop(ctx context.Context, client *http.Client, base, self string, ttl time.Duration, logf func(format string, args ...any)) {
+// JoinLoop keeps the worker at self registered with a coordinator until
+// ctx ends, then deregisters: the client half of elastic fleet
+// membership, backing sdserve -join. bases lists equivalent coordinator
+// endpoints (typically the active coordinator and its failover
+// standbys); each heartbeat sticks with the base that last accepted a
+// registration and rotates to the next on failure, so when a standby
+// adopts the fleet the worker's very next heartbeat re-registers it
+// there — membership survives coordinator failover without waiting for
+// the standby's persisted-peer adoption to be complete or fresh.
+//
+// It registers immediately, heartbeats at a third of the granted lease
+// TTL (so two heartbeats can be lost before the lease expires), retries
+// failed announcements at the same cadence, and reports state changes
+// through logf (which may be nil). JoinLoop returns once the final
+// deregistration completes.
+func JoinLoop(ctx context.Context, client *http.Client, bases []string, self string, ttl time.Duration, logf func(format string, args ...any)) {
 	if logf == nil {
 		logf = func(string, ...any) {}
+	}
+	if len(bases) == 0 {
+		return
 	}
 	if ttl <= 0 {
 		ttl = 30 * time.Second
 	}
 	interval := ttl / 3
 	registered := false
+	cur := 0
 	heartbeat := func() {
 		hbCtx, cancel := context.WithTimeout(ctx, interval)
 		defer cancel()
-		granted, err := Register(hbCtx, client, base, self, ttl)
-		switch {
-		case err != nil && ctx.Err() != nil:
-		case err != nil:
-			if registered {
-				logf("join: lost coordinator %s: %v", base, err)
-			} else {
-				logf("join: cannot register with %s (will retry): %v", base, err)
+		// One pass over the bases starting at the sticky one: the common
+		// case (healthy coordinator) costs one request, and a failover
+		// costs one failed request before the standby picks up the lease.
+		var firstErr error
+		for try := 0; try < len(bases); try++ {
+			base := bases[(cur+try)%len(bases)]
+			granted, err := Register(hbCtx, client, base, self, ttl)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: %w", base, err)
+				}
+				continue
 			}
-			registered = false
-		case !registered:
-			logf("join: registered with %s (lease %v)", base, granted)
+			if !registered || try != 0 {
+				logf("join: registered with %s (lease %v)", base, granted)
+			}
+			cur = (cur + try) % len(bases)
 			registered = true
 			interval = granted / 3
+			return
 		}
+		if ctx.Err() != nil {
+			return
+		}
+		if registered {
+			logf("join: lost all coordinators (%v)", firstErr)
+		} else {
+			logf("join: cannot register (will retry): %v", firstErr)
+		}
+		registered = false
 	}
 	heartbeat()
 	ticker := time.NewTicker(interval)
@@ -202,6 +237,7 @@ func JoinLoop(ctx context.Context, client *http.Client, base, self string, ttl t
 			if registered {
 				// ctx is already done; deregister on a fresh deadline so
 				// graceful shutdown still removes the lease promptly.
+				base := bases[cur]
 				dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 				defer cancel()
 				if err := Deregister(dctx, client, base, self); err != nil {

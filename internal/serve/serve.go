@@ -7,14 +7,28 @@
 //
 //	POST /v1/simulate  one simulation point  -> the full Result
 //	POST /v1/sweep     Figures 1-3 campaign  -> normalised SweepRows
-//	POST /v1/campaign  arbitrary point list  -> streamed per-point
-//	                   results (SSE or NDJSON) + terminal event;
+//	POST /v1/campaigns            create a campaign resource -> 201 +
+//	                              Location; runs detached from any client
+//	GET  /v1/campaigns/{id}       attach to (or resume, ?from=<seq>) the
+//	                              campaign's stream (SSE or NDJSON)
+//	GET  /v1/campaigns/{id}/status  compact JSON progress
+//	DELETE /v1/campaigns/{id}     cancel the campaign
+//	POST /v1/campaign  deprecated request-scoped alias: streamed
+//	                   per-point results + terminal event, byte-
+//	                   compatible with pre-resource clients;
 //	                   ?reports=1 adds per-job report frames
 //	POST /v1/workers/register    announce a worker to a coordinator's
 //	                             fleet / renew its heartbeat lease
 //	POST /v1/workers/deregister  remove a registered worker
 //	GET  /healthz      liveness + in-flight, cache and pool statistics;
 //	                   on a coordinator, per-peer fleet state too
+//
+// Error replies on every /v1/* endpoint share the JSON envelope
+// {"error":{"code","message","campaign_id"}} (see errors.go).
+// With EnableJournal the campaign resources are write-ahead journaled
+// (resumable across restarts and coordinator failover — campaigns.go);
+// until Activate is called such an instance is a standby and refuses
+// campaign work with 503.
 //
 // Every simulation goes through one shared Engine, so concurrent
 // requests for the same canonical point coalesce into a single run and
@@ -39,6 +53,7 @@ import (
 	"time"
 
 	"sdpolicy"
+	"sdpolicy/internal/journal"
 	"sdpolicy/internal/telemetry"
 )
 
@@ -58,6 +73,14 @@ type Server struct {
 	// coord, when non-nil, makes /v1/campaign fan out to a fleet of
 	// worker sdserve instances instead of the local engine.
 	coord *coordinator
+	// resources is the campaign resource registry behind /v1/campaigns;
+	// journal, when non-nil, makes those resources durable. active
+	// gates the whole campaign plane: true from construction unless
+	// EnableJournal demotes the instance to standby, after which
+	// Activate (holding the coordinator lease) re-opens it.
+	resources *campaignRegistry
+	journal   *journal.Journal
+	active    atomic.Bool
 }
 
 // New builds a Server over the engine, allowing at most maxInflight
@@ -66,11 +89,14 @@ func New(engine *sdpolicy.Engine, maxInflight int) *Server {
 	if maxInflight <= 0 {
 		maxInflight = 16
 	}
-	return &Server{
-		engine:   engine,
-		slots:    make(chan struct{}, maxInflight),
-		shutdown: make(chan struct{}),
+	s := &Server{
+		engine:    engine,
+		slots:     make(chan struct{}, maxInflight),
+		shutdown:  make(chan struct{}),
+		resources: newCampaignRegistry(),
 	}
+	s.active.Store(true)
+	return s
 }
 
 // CoordinatorConfig shapes a coordinator's fleet behaviour; the zero
@@ -120,6 +146,9 @@ func (s *Server) EnableCoordinator(cfg CoordinatorConfig) error {
 		return err
 	}
 	s.coord = coord
+	if s.journal != nil {
+		coord.peers.setPersist(s.persistPeers)
+	}
 	go coord.probeLoop(s.shutdown)
 	return nil
 }
@@ -132,6 +161,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/simulate", instrument("/v1/simulate", s.handleSimulate))
 	mux.HandleFunc("/v1/sweep", instrument("/v1/sweep", s.handleSweep))
 	mux.HandleFunc("/v1/campaign", instrument("/v1/campaign", s.handleCampaign))
+	mux.HandleFunc("/v1/campaigns", instrument("/v1/campaigns", s.handleCampaigns))
+	mux.HandleFunc("/v1/campaigns/{id}", instrument("/v1/campaigns/{id}", s.handleCampaignByID))
+	mux.HandleFunc("/v1/campaigns/{id}/status", instrument("/v1/campaigns/{id}/status", s.handleCampaignStatus))
 	mux.HandleFunc("/v1/workers/register", instrument("/v1/workers/register", s.handleRegister))
 	mux.HandleFunc("/v1/workers/deregister", instrument("/v1/workers/deregister", s.handleDeregister))
 	mux.HandleFunc("/healthz", instrument("/healthz", s.handleHealth))
@@ -177,7 +209,11 @@ type Health struct {
 	Go       string `json:"go"`
 	Built    string `json:"built,omitempty"`
 	Revision string `json:"revision,omitempty"`
-	Workers  int    `json:"workers"`
+	// Role reports failover state on journal-backed instances: "active"
+	// once the coordinator lease is held and the campaign plane serves,
+	// "standby" while waiting to adopt it. Absent without -journal-dir.
+	Role    string `json:"role,omitempty"`
+	Workers int    `json:"workers"`
 	// InFlight is how many requests currently hold a simulation slot;
 	// CampaignsInFlight how many of them are streaming /v1/campaign
 	// responses.
@@ -192,6 +228,9 @@ type Health struct {
 	Peers []PeerStatus `json:"peers,omitempty"`
 }
 
+// apiError is the deprecated /v1/campaign alias's in-band terminal
+// error frame ({"error":"..."}), kept byte-compatible; HTTP-level
+// errors use the ErrorEnvelope in errors.go instead.
 type apiError struct {
 	Error string `json:"error"`
 }
@@ -257,6 +296,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		CampaignsInFlight: s.campaigns.Load(),
 		CacheHits:         hits,
 		CacheMisses:       misses,
+	}
+	if s.journal != nil {
+		if s.active.Load() {
+			h.Role = "active"
+		} else {
+			h.Role = "standby"
+		}
 	}
 	if s.coord != nil {
 		h.Peers = s.coord.peers.snapshot()
@@ -328,8 +374,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, apiError{Error: err.Error()})
 }

@@ -156,11 +156,12 @@ func TestBadRequests(t *testing.T) {
 			if resp.StatusCode != tc.want {
 				t.Fatalf("status %d, want %d", resp.StatusCode, tc.want)
 			}
-			var ae struct {
-				Error string `json:"error"`
+			var env ErrorEnvelope
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error.Message == "" {
+				t.Fatalf("error envelope missing: %v (%+v)", err, env)
 			}
-			if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil || ae.Error == "" {
-				t.Fatalf("error body missing: %v", err)
+			if env.Error.Code != "bad_request" {
+				t.Fatalf("error code %q, want bad_request", env.Error.Code)
 			}
 		})
 	}

@@ -95,3 +95,24 @@ func MergeShardResults(total int, shards []CampaignShard, results [][]*Result) (
 	}
 	return campaign.MergeShards(total, plan, results)
 }
+
+// PlanResume narrows a campaign to what a checkpoint set has not yet
+// resolved: given the original point list and the completed original
+// positions (a journal's result records), it returns the remaining
+// positions in ascending order and the points at them. Running the
+// returned points and writing each result back to remaining[i] — which
+// is what the durable campaign plane's resume path does — yields output
+// identical to a run that was never interrupted, with zero
+// re-simulation of checkpointed positions. An invalid checkpoint set
+// (out-of-range or duplicated position) is an error tagged ErrBadInput.
+func PlanResume(points []Point, done []int) (remaining []int, pts []Point, err error) {
+	remaining, err = campaign.Remaining(len(points), done)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sdpolicy: %w: %w", err, ErrBadInput)
+	}
+	pts = make([]Point, len(remaining))
+	for i, pos := range remaining {
+		pts[i] = points[pos]
+	}
+	return remaining, pts, nil
+}

@@ -171,3 +171,37 @@ func TestPlanFleetShards(t *testing.T) {
 		t.Fatalf("empty fleet: err %v, want ErrBadInput", err)
 	}
 }
+
+func TestPlanResume(t *testing.T) {
+	points := shardTestPoints()
+	remaining, pts, err := PlanResume(points, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remaining) != len(points)-2 || len(pts) != len(remaining) {
+		t.Fatalf("resume plan %v over %d points", remaining, len(points))
+	}
+	for i, pos := range remaining {
+		if pos == 0 || pos == 2 {
+			t.Fatalf("checkpointed position %d re-planned", pos)
+		}
+		if pts[i] != points[pos] {
+			t.Fatalf("pts[%d] != points[%d]", i, pos)
+		}
+	}
+	if _, _, err := PlanResume(points, []int{len(points)}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("out-of-range checkpoint: %v, want ErrBadInput", err)
+	}
+	if _, _, err := PlanResume(points, []int{1, 1}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("duplicate checkpoint: %v, want ErrBadInput", err)
+	}
+	// A fully checkpointed campaign resumes to nothing.
+	all := make([]int, len(points))
+	for i := range all {
+		all[i] = i
+	}
+	remaining, pts, err = PlanResume(points, all)
+	if err != nil || len(remaining) != 0 || len(pts) != 0 {
+		t.Fatalf("fully checkpointed: %v, %v, %v", remaining, pts, err)
+	}
+}
