@@ -49,6 +49,16 @@
 //     with -cache-dir, per-job report frames are negotiated over the
 //     wire so the proxied results — reports included — are spilled
 //     locally and warm later in-process runs.
+//
+// Two profiling surfaces coexist, one offline and one live:
+//
+//   - -cpuprofile file / -memprofile file follow the go test
+//     convention: the CPU profile spans the whole run, the memory
+//     profile snapshots allocations after a final GC on exit. Inspect
+//     with `go tool pprof file`.
+//   - -debug-addr host:port serves /debug/pprof/ and /metrics over
+//     HTTP for profiling a run in flight (30-second CPU slices,
+//     goroutine dumps) without restarting it.
 package main
 
 import (
@@ -66,6 +76,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -92,10 +103,17 @@ func main() {
 		mergeCache = flag.String("merge-cache", "", "comma-separated cache dirs (or spill files) merged into the engine cache before running; with -cache-dir the merged cache is spilled back")
 		server     = flag.String("server", "", "with -points: comma-separated base URLs of an sdserve deployment (coordinator plus failover standbys) that runs the campaign instead of this process; the stream resumes across disconnects and failovers")
 		debugAddr  = flag.String("debug-addr", "", "optional listen address for net/http/pprof and /metrics (e.g. localhost:6060); off when empty")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go test convention; -debug-addr serves the same data live)")
+		memprofile = flag.String("memprofile", "", "write an allocs/heap profile to this file on exit, after a final GC (go test convention)")
 	)
 	flag.Parse()
 	if *points == "" && (*shard != "" || *server != "") {
 		fmt.Fprintln(os.Stderr, "sdexp: -shard and -server require -points")
+		os.Exit(1)
+	}
+	stopProfiles, perr := startProfiles(*cpuprofile, *memprofile)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "sdexp:", perr)
 		os.Exit(1)
 	}
 
@@ -205,10 +223,52 @@ func main() {
 	if *progress {
 		emitCacheStatsJSON(os.Stderr)
 	}
+	stopProfiles()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdexp:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles wires the go-test-style profiling flags: the CPU
+// profile covers everything from flag parsing to exit, and the memory
+// profile snapshots allocations after a final GC so live objects
+// dominate the picture. The returned stop function is safe to call when
+// neither flag is set.
+func startProfiles(cpu, mem string) (stop func(), err error) {
+	var cpuF *os.File
+	if cpu != "" {
+		cpuF, err = os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "sdexp: -cpuprofile:", err)
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sdexp: -memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "sdexp: -memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "sdexp: -memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 // emitCacheStatsJSON is the machine-readable counterpart of the human

@@ -1,0 +1,104 @@
+package sdpolicy
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden equivalence suite pins the simulator's observable output
+// across optimization work: every workload preset crossed with every
+// policy and cut-off variant, streamed through the campaign engine and
+// encoded in the exact NDJSON wire form cmd/sdexp and /v1/campaign
+// emit. The golden file was generated from the pre-optimization kernel
+// (container/heap event queue, full profile rebuilds), so a passing run
+// proves the monomorphic event heap's (at, pri, seq) tie-break and the
+// incremental availability profile are semantics-preserving, byte for
+// byte. Regenerate with:
+//
+//	go test -run TestGoldenEquivalence -update-golden .
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/golden_equivalence.ndjson from the current kernel")
+
+// goldenPoints is the full policy × cut-off matrix over every workload
+// preset, at a scale small enough for the suite to run in seconds. wl4
+// uses a smaller scale: it is ~10x the size of the others.
+func goldenPoints() []Point {
+	variants := []Options{
+		{Policy: "static"},
+		{Policy: "sd"},                                  // infinite cut-off
+		{Policy: "sd", MaxSlowdown: 10},                 // static cut-off
+		{Policy: "sd", DynamicCutoff: "avg"},            // DynAVGSD
+		{Policy: "sd", DynamicCutoff: "median"},         // DynPERCSD 50
+		{Policy: "sd", DynamicCutoff: "p70"},            // DynPERCSD 70
+		{Policy: "sd", MaxSlowdown: 10, Model: "worst"}, // worst-case runtime model
+		{Policy: "sd", MaxSlowdown: 10, IncludeFreeNodes: true},
+		{Policy: "oversubscribe"},
+	}
+	var points []Point
+	for _, wl := range []string{"wl1", "wl2", "wl3", "wl4", "wl5"} {
+		scale := 0.1
+		if wl == "wl4" {
+			scale = 0.02
+		}
+		for _, opt := range variants {
+			points = append(points, NewPoint(wl, scale, 1, opt))
+		}
+	}
+	return points
+}
+
+func TestGoldenEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden equivalence suite simulates 45 points; skipped in -short")
+	}
+	points := goldenPoints()
+	engine := NewEngine(0, 0)
+	results, err := engine.Run(context.Background(), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i, res := range results {
+		if err := enc.Encode(PointResult{Index: i, Point: points[i], Result: res}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join("testdata", "golden_equivalence.ndjson")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d points to %s", len(points), path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with -update-golden): %v", err)
+	}
+	if bytes.Equal(buf.Bytes(), want) {
+		return
+	}
+	// Byte mismatch: find the first diverging line for a usable report.
+	gotLines := bytes.Split(buf.Bytes(), []byte("\n"))
+	wantLines := bytes.Split(want, []byte("\n"))
+	for i := range gotLines {
+		if i >= len(wantLines) || !bytes.Equal(gotLines[i], wantLines[i]) {
+			wantLine := []byte("<missing>")
+			if i < len(wantLines) {
+				wantLine = wantLines[i]
+			}
+			t.Fatalf("output diverges from golden at line %d:\n got: %.200s\nwant: %.200s",
+				i+1, gotLines[i], wantLine)
+		}
+	}
+	t.Fatalf("golden has %d lines, run produced %d", len(wantLines), len(gotLines))
+}

@@ -133,6 +133,13 @@ func (c *Cluster) Allocs(nodeID int) []Alloc {
 	return out
 }
 
+// AllocsInto appends the node's allocations to buf and returns the
+// extended slice — the allocation-free variant of Allocs for hot paths
+// that own a reusable scratch buffer.
+func (c *Cluster) AllocsInto(buf []Alloc, nodeID int) []Alloc {
+	return append(buf, c.nodes[nodeID].allocs...)
+}
+
 // JobsOn returns how many jobs share the given node.
 func (c *Cluster) JobsOn(nodeID int) int { return len(c.nodes[nodeID].allocs) }
 

@@ -11,7 +11,7 @@ package nodemgr
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"sdpolicy/internal/cluster"
 	"sdpolicy/internal/drom"
@@ -27,6 +27,11 @@ type Manager struct {
 	// precomputed split for the default owner+guest sharing
 	ownerKeep int
 	guestGet  int
+	// scratch reused across Finish calls (a Manager is single-threaded,
+	// driven by one event loop)
+	restBuf []cluster.Alloc
+	expBuf  []int
+	affBuf  []job.ID
 }
 
 // New returns a manager applying the given SharingFactor, the fraction of
@@ -142,24 +147,30 @@ func (m *Manager) StartGuest(guest job.ID, mates []Mate) int64 {
 // absorbing a finished owner). Jobs whose shares changed are returned,
 // sorted and deduplicated, so the caller can refresh their progress
 // rates. The DROM overhead in seconds is returned alongside.
+// The returned slice is scratch owned by the Manager: it is only valid
+// until the next Finish call.
 func (m *Manager) Finish(id job.ID, nodes []int, canExpand func(job.ID) bool) (affected []job.ID, overhead int64) {
 	full := m.cl.Config().CoresPerNode()
-	changed := make(map[job.ID]bool)
+	m.affBuf = m.affBuf[:0]
 	for _, nd := range nodes {
 		if err := m.reg.Clean(nd, id); err != nil {
 			panic(fmt.Sprintf("nodemgr: clean: %v", err))
 		}
 		m.cl.Release(nd, id)
-		rest := m.cl.Allocs(nd)
+		rest := m.cl.AllocsInto(m.restBuf[:0], nd)
+		m.restBuf = rest[:0]
 		if len(rest) == 0 {
 			continue
 		}
 		// Sort residents owner-first then by id for a deterministic layout.
-		sort.Slice(rest, func(i, j int) bool {
-			if rest[i].Owner != rest[j].Owner {
-				return rest[i].Owner
+		slices.SortFunc(rest, func(a, b cluster.Alloc) int {
+			if a.Owner != b.Owner {
+				if a.Owner {
+					return -1
+				}
+				return 1
 			}
-			return rest[i].Job < rest[j].Job
+			return int(a.Job) - int(b.Job)
 		})
 		used := 0
 		for _, a := range rest {
@@ -167,12 +178,13 @@ func (m *Manager) Finish(id job.ID, nodes []int, canExpand func(job.ID) bool) (a
 		}
 		free := full - used
 		if free > 0 {
-			var expandable []int
+			expandable := m.expBuf[:0]
 			for i, a := range rest {
 				if canExpand(a.Job) {
 					expandable = append(expandable, i)
 				}
 			}
+			m.expBuf = expandable[:0]
 			for k, i := range expandable {
 				share := free / len(expandable)
 				if k < free%len(expandable) {
@@ -183,7 +195,7 @@ func (m *Manager) Finish(id job.ID, nodes []int, canExpand func(job.ID) bool) (a
 				}
 				rest[i].Cores += share
 				m.cl.SetCores(nd, rest[i].Job, rest[i].Cores)
-				changed[rest[i].Job] = true
+				m.affBuf = append(m.affBuf, rest[i].Job)
 			}
 		}
 		// Reassign contiguous masks in the deterministic order.
@@ -197,12 +209,11 @@ func (m *Manager) Finish(id job.ID, nodes []int, canExpand func(job.ID) bool) (a
 			at += a.Cores
 		}
 	}
-	affected = make([]job.ID, 0, len(changed))
-	for jid := range changed {
-		affected = append(affected, jid)
-	}
-	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
-	return affected, overhead
+	// Sort + dedup replaces the old map: same set, same order, no
+	// per-call allocation.
+	slices.Sort(m.affBuf)
+	m.affBuf = slices.Compact(m.affBuf)
+	return m.affBuf, overhead
 }
 
 // ExpandToFull restores the job to full cores on each listed node —
@@ -225,9 +236,14 @@ func (m *Manager) ExpandToFull(id job.ID, nodes []int) int64 {
 // Shares returns the job's current core count on each of the given nodes,
 // in node order — the input of the runtime model's Rate function.
 func (m *Manager) Shares(id job.ID, nodes []int) []int {
-	out := make([]int, len(nodes))
-	for i, nd := range nodes {
-		out[i] = m.cl.CoresOf(nd, id)
+	return m.SharesInto(make([]int, 0, len(nodes)), id, nodes)
+}
+
+// SharesInto is Shares appending into a caller-owned buffer, for hot
+// paths that query shares once per scheduling pass.
+func (m *Manager) SharesInto(buf []int, id job.ID, nodes []int) []int {
+	for _, nd := range nodes {
+		buf = append(buf, m.cl.CoresOf(nd, id))
 	}
-	return out
+	return buf
 }

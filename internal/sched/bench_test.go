@@ -1,0 +1,95 @@
+package sched
+
+import (
+	"testing"
+
+	"sdpolicy/internal/sim"
+	"sdpolicy/internal/workload"
+)
+
+// midSim builds a scheduler frozen mid-simulation: WL4 is driven up to
+// the horizon, leaving a populated running set and a backlog in the
+// queue — the state every per-pass component operates on. The returned
+// scheduler must not be mutated by the benchmark body (the component
+// benchmarks below only exercise read/scratch paths).
+func midSim(b *testing.B, cfg Config) *Scheduler {
+	b.Helper()
+	spec := workload.WL4(0.05, 1)
+	eng := sim.NewEngine()
+	s := NewScheduler(eng, cfg, spec.Cluster)
+	for i := range spec.Jobs {
+		if err := s.Submit(&spec.Jobs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Stop roughly mid-trace: far enough in that the machine is busy,
+	// early enough that a deep queue remains.
+	eng.SetHorizon(spec.Jobs[len(spec.Jobs)/2].Submit)
+	eng.Run()
+	if len(s.runList) == 0 || len(s.queue) == 0 {
+		b.Fatalf("mid-state degenerate: %d running, %d queued", len(s.runList), len(s.queue))
+	}
+	return s
+}
+
+// invalidate expires the per-timestamp memos so every iteration pays
+// the full rebuild, as a pass at a fresh timestamp would.
+func invalidate(s *Scheduler) {
+	s.relDirty = true
+	for _, r := range s.runList {
+		r.peAt = peInvalid
+	}
+}
+
+// BenchmarkBuildProfile measures one availability-profile rebuild from
+// the running set (the head of every scheduling pass). Target: zero
+// allocations amortised — the release and breakpoint arrays are
+// scheduler-owned scratch.
+func BenchmarkBuildProfile(b *testing.B) {
+	s := midSim(b, sdConfig())
+	now := s.eng.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		invalidate(s)
+		s.buildProfile(now)
+	}
+}
+
+// BenchmarkDynamicCutoff measures the feedback cut-off computation
+// (predicted slowdown of every running job + percentile).
+func BenchmarkDynamicCutoff(b *testing.B) {
+	cfg := sdConfig()
+	cfg.Cutoff = CutoffDynP70
+	s := midSim(b, cfg)
+	now := s.eng.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		invalidate(s)
+		s.dynamicCutoff(now)
+	}
+}
+
+// BenchmarkSchedulerPass measures a full scheduling pass — cut-off,
+// profile build, backfill walk with malleable trials — over the frozen
+// mid-trace state. The machine is saturated at the horizon, so the pass
+// only estimates and reserves: it leaves the queue and running set
+// unchanged and is safe to repeat.
+func BenchmarkSchedulerPass(b *testing.B) {
+	cfg := sdConfig()
+	cfg.Cutoff = CutoffDynAvg
+	s := midSim(b, cfg)
+	queued, running := len(s.queue), len(s.runList)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		invalidate(s)
+		s.pass()
+	}
+	b.StopTimer()
+	if len(s.queue) != queued || len(s.runList) != running {
+		b.Fatalf("pass mutated state: queue %d->%d, running %d->%d",
+			queued, len(s.queue), running, len(s.runList))
+	}
+}

@@ -2,7 +2,6 @@ package sched
 
 import (
 	"math"
-	"sort"
 
 	"sdpolicy/internal/job"
 	"sdpolicy/internal/model"
@@ -23,14 +22,21 @@ type candidate struct {
 	p float64
 }
 
+// candLess is the deterministic candidate order: penalty ascending with
+// the (unique) job id as tie-break — a strict total order, so the
+// lowest-CandidateCap set and its sorted layout are unambiguous.
+func candLess(a, b candidate) bool {
+	if a.p != b.p {
+		return a.p < b.p
+	}
+	return a.m.j.ID < b.m.j.ID
+}
+
 // penalty evaluates Eq. 4 for a prospective mate: the predicted slowdown
 // (wait + increase + req_time)/req_time after committing to host the
-// guest until guestEnd.
-func (s *Scheduler) penalty(m *rjob, now, guestEnd int64) float64 {
-	keepRate := float64(s.mgr.OwnerKeepCores()) / float64(s.cl.Config().CoresPerNode())
-	if s.cfg.Policy == Oversubscribe {
-		keepRate *= 1 - s.cfg.OversubPenalty
-	}
+// guest until guestEnd. keepRate is the shrunk owner's rate, hoisted by
+// the caller (it is constant across candidates of one selection).
+func penalty(m *rjob, now, guestEnd int64, keepRate float64) float64 {
 	newInc := model.MateIncrease(guestEnd-now, keepRate)
 	wait := float64(m.start - m.j.Submit)
 	req := float64(m.j.ReqTime)
@@ -52,14 +58,11 @@ func (s *Scheduler) eligibleMate(m, g *rjob, now, guestEnd int64) bool {
 	if s.mgr.OwnerKeepCores() < m.j.TasksPerNode {
 		return false
 	}
-	if m.predEnd(now) < guestEnd {
+	if !m.allFull {
 		return false
 	}
-	full := s.cl.Config().CoresPerNode()
-	for _, share := range s.mgr.Shares(m.j.ID, m.nodes) {
-		if share != full {
-			return false
-		}
+	if s.predEndOf(m, now) < guestEnd {
+		return false
 	}
 	if len(g.j.Features) > 0 {
 		for _, nd := range m.nodes {
@@ -71,11 +74,74 @@ func (s *Scheduler) eligibleMate(m, g *rjob, now, guestEnd int64) bool {
 	return true
 }
 
+// mateSearch carries the state of the combination search so the
+// recursion needs no closure and its slices survive across passes as
+// scheduler-owned scratch.
+type mateSearch struct {
+	cands     []candidate
+	sufWidth  []int // sufWidth[i] = max node count among cands[i:]
+	freeAvail int
+	maxMates  int
+	cur       []*rjob
+	bestMates []*rjob
+	bestFree  int
+	bestPen   float64
+}
+
+// dfs enumerates mate combinations in penalty order with two exact
+// prunes. Both preserve the search result bit-for-bit: a solution is
+// recorded only on strict penalty improvement, so subtrees whose
+// cheapest possible extension already reaches bestPen cannot change the
+// outcome.
+func (ms *mateSearch) dfs(start, needed int, pen float64) {
+	if pen >= ms.bestPen {
+		return
+	}
+	if len(ms.cur) > 0 && (needed == 0 || needed <= ms.freeAvail) {
+		ms.bestMates = append(ms.bestMates[:0], ms.cur...)
+		ms.bestFree = needed
+		ms.bestPen = pen
+		if needed == 0 {
+			return
+		}
+		// A free-node completion found; adding mates only raises the
+		// penalty, but an exact mate fit deeper may still use fewer
+		// free nodes at equal penalty — the paper minimises PI, so
+		// stop here.
+		return
+	}
+	slots := ms.maxMates - len(ms.cur)
+	if slots == 0 {
+		return
+	}
+	for i := start; i < len(ms.cands); i++ {
+		// Candidates are sorted by penalty ascending: once the cheapest
+		// remaining one cannot beat the incumbent, none can.
+		if pen+ms.cands[i].p >= ms.bestPen {
+			break
+		}
+		// Width bound: even taking the widest remaining candidates in
+		// every open slot cannot reach the requested node count.
+		if needed > ms.freeAvail+slots*ms.sufWidth[i] {
+			break
+		}
+		w := len(ms.cands[i].m.nodes)
+		if w > needed {
+			continue
+		}
+		ms.cur = append(ms.cur, ms.cands[i].m)
+		ms.dfs(i+1, needed-w, pen+ms.cands[i].p)
+		ms.cur = ms.cur[:len(ms.cur)-1]
+	}
+}
+
 // selectMates implements Listing 2's pick_mates: filter and sort the
 // running jobs by penalty, then search combinations of at most MaxMates
 // mates whose node counts sum to the request (constraint 3), each below
 // the MAX_SLOWDOWN cut-off (constraint 2), minimising the Performance
-// Impact (Eq. 1). Returns nil when no feasible combination exists.
+// Impact (Eq. 1). Returns nil when no feasible combination exists. The
+// returned selection is scheduler-owned scratch, valid until the next
+// call.
 func (s *Scheduler) selectMates(r *rjob, now, guestEnd int64) *mateSelection {
 	W := r.j.ReqNodes
 	maxSD := s.maxSD
@@ -84,33 +150,49 @@ func (s *Scheduler) selectMates(r *rjob, now, guestEnd int64) *mateSelection {
 			maxSD = qsd // per-queue QoS cut-off (§4.1)
 		}
 	}
-	var cands []candidate
-	for _, m := range s.running {
-		if !s.eligibleMate(m, r, now, guestEnd) {
-			continue
-		}
+	keepRate := float64(s.mgr.OwnerKeepCores()) / float64(s.cl.Config().CoresPerNode())
+	if s.cfg.Policy == Oversubscribe {
+		keepRate *= 1 - s.cfg.OversubPenalty
+	}
+	// Stream the eligible mates straight into a bounded, sorted
+	// candidate list: only the CandidateCap lowest penalties matter, so
+	// a running job worse than the current cut costs one comparison
+	// instead of a slot in a full sort.
+	nm := s.cfg.CandidateCap
+	cands := s.search.cands[:0]
+	for _, m := range s.runList {
 		if len(m.nodes) > W {
 			continue // a mate shrinks on all its nodes; larger mates overshoot
 		}
-		p := s.penalty(m, now, guestEnd)
+		if !s.eligibleMate(m, r, now, guestEnd) {
+			continue
+		}
+		p := penalty(m, now, guestEnd, keepRate)
 		if p >= maxSD {
 			continue // Eq. 2 cut-off
 		}
-		cands = append(cands, candidate{m: m, p: p})
+		c := candidate{m: m, p: p}
+		if len(cands) == nm && !candLess(c, cands[nm-1]) {
+			continue
+		}
+		lo, hi := 0, len(cands)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if candLess(c, cands[mid]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if len(cands) < nm {
+			cands = append(cands, candidate{})
+		}
+		copy(cands[lo+1:], cands[lo:])
+		cands[lo] = c
 	}
+	s.search.cands = cands
 	if len(cands) == 0 {
 		return nil
-	}
-	// Deterministic order: penalty ascending, job id as tie-break (the
-	// running set is a map).
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].p != cands[j].p {
-			return cands[i].p < cands[j].p
-		}
-		return cands[i].m.j.ID < cands[j].m.j.ID
-	})
-	if len(cands) > s.cfg.CandidateCap {
-		cands = cands[:s.cfg.CandidateCap]
 	}
 
 	freeAvail := 0
@@ -118,42 +200,29 @@ func (s *Scheduler) selectMates(r *rjob, now, guestEnd int64) *mateSelection {
 		freeAvail = s.cl.FreeNodesWith(r.j.Features)
 	}
 
-	best := mateSelection{penalty: math.Inf(1)}
-	cur := make([]*rjob, 0, s.cfg.MaxMates)
-	var dfs func(start, needed int, pen float64)
-	dfs = func(start, needed int, pen float64) {
-		if pen >= best.penalty {
-			return
-		}
-		if len(cur) > 0 && (needed == 0 || needed <= freeAvail) {
-			best.mates = append(best.mates[:0], cur...)
-			best.freeNodes = needed
-			best.penalty = pen
-			if needed == 0 {
-				return
-			}
-			// A free-node completion found; adding mates only raises the
-			// penalty, but an exact mate fit deeper may still use fewer
-			// free nodes at equal penalty — the paper minimises PI, so
-			// stop here.
-			return
-		}
-		if len(cur) == s.cfg.MaxMates {
-			return
-		}
-		for i := start; i < len(cands); i++ {
-			w := len(cands[i].m.nodes)
-			if w > needed {
-				continue
-			}
-			cur = append(cur, cands[i].m)
-			dfs(i+1, needed-w, pen+cands[i].p)
-			cur = cur[:len(cur)-1]
-		}
+	ms := &s.search
+	ms.cands = cands
+	if cap(ms.sufWidth) < len(cands) {
+		ms.sufWidth = make([]int, len(cands))
 	}
-	dfs(0, W, 0)
-	if math.IsInf(best.penalty, 1) {
+	ms.sufWidth = ms.sufWidth[:len(cands)]
+	for i := len(cands) - 1; i >= 0; i-- {
+		w := len(cands[i].m.nodes)
+		if i+1 < len(cands) && ms.sufWidth[i+1] > w {
+			w = ms.sufWidth[i+1]
+		}
+		ms.sufWidth[i] = w
+	}
+	ms.freeAvail = freeAvail
+	ms.maxMates = s.cfg.MaxMates
+	ms.cur = ms.cur[:0]
+	ms.bestMates = ms.bestMates[:0]
+	ms.bestFree = 0
+	ms.bestPen = math.Inf(1)
+	ms.dfs(0, W, 0)
+	if math.IsInf(ms.bestPen, 1) {
 		return nil
 	}
-	return &best
+	s.selBuf = mateSelection{mates: ms.bestMates, freeNodes: ms.bestFree, penalty: ms.bestPen}
+	return &s.selBuf
 }

@@ -37,8 +37,8 @@ func (s *Scheduler) obsStarted(r *rjob, malleable bool) {
 func (s *Scheduler) obsReconfigured(r *rjob) {
 	if s.cfg.Observer != nil {
 		total := 0
-		for _, c := range s.mgr.Shares(r.j.ID, r.nodes) {
-			total += c
+		for _, nd := range r.nodes {
+			total += s.cl.CoresOf(nd, r.j.ID)
 		}
 		s.cfg.Observer.JobReconfigured(s.eng.Now(), r.j.ID, total)
 	}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -23,14 +24,25 @@ type profile struct {
 // node, the time it is predicted to become free (one entry per node;
 // shared nodes already collapsed to their max by the caller).
 func newProfile(now int64, totalNodes, freeNodes int, releases []int64) *profile {
-	p := &profile{totalNodes: totalNodes, now: now, availNow: freeNodes}
-	if len(releases) == 0 {
-		return p
-	}
+	p := &profile{}
 	sorted := make([]int64, len(releases))
 	copy(sorted, releases)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	for _, t := range sorted {
+	p.init(now, totalNodes, freeNodes, sorted)
+	return p
+}
+
+// init (re)builds the profile in place, reusing the breakpoint arrays —
+// the scheduler keeps two profile values alive for the whole run and
+// re-inits them every pass instead of allocating. releases is sorted in
+// place: the caller passes scratch it owns.
+func (p *profile) init(now int64, totalNodes, freeNodes int, releases []int64) {
+	p.totalNodes, p.now, p.availNow = totalNodes, now, freeNodes
+	p.times, p.deltas = p.times[:0], p.deltas[:0]
+	if len(releases) == 0 {
+		return
+	}
+	slices.Sort(releases)
+	for _, t := range releases {
 		if t <= now {
 			// A predicted end in the past (job overran its request and
 			// prediction): treat as releasing immediately after now.
@@ -44,7 +56,6 @@ func newProfile(now int64, totalNodes, freeNodes int, releases []int64) *profile
 			p.deltas = append(p.deltas, 1)
 		}
 	}
-	return p
 }
 
 // earliestStart returns the first time >= now at which `nodes` nodes are

@@ -15,6 +15,9 @@ import (
 	"sdpolicy/internal/stats"
 )
 
+// peInvalid marks an rjob's predicted-end memo as stale.
+const peInvalid = math.MinInt64
+
 // rjob is the scheduler's live view of one job.
 type rjob struct {
 	j     *job.Job
@@ -26,8 +29,20 @@ type rjob struct {
 	// pred tracks requested-time progress under the worst-case model:
 	// it drives every scheduler prediction (Section 3.4: "in the
 	// SD-Policy case, we use the worst case model").
-	pred  *model.Progress
-	endEv *sim.Event
+	pred   *model.Progress
+	endEv  sim.Event
+	runIdx int // position in Scheduler.runList
+	// predicted-end memo: predEnd is pure in (pred state, now), so one
+	// computation per timestamp serves the profile build, the cut-off
+	// and every mate-eligibility check of a pass. peAt is the timestamp
+	// the memo was taken at; SetRate invalidates it.
+	peAt  int64
+	peVal int64
+	// allFull mirrors "every node share equals the full core count",
+	// refreshed by setRates — shares never change without a rate
+	// refresh, so the flag is exact. It replaces the per-candidate
+	// share scan of the mate-eligibility check.
+	allFull bool
 	// malleability roles
 	guest     *rjob   // guest currently hosted (this job is its mate)
 	hosts     []*rjob // mates hosting this job (this job is a guest)
@@ -48,6 +63,16 @@ func (r *rjob) predEnd(now int64) int64 {
 	return now + rem
 }
 
+// predEndOf is the memoised predEnd: exact, because the prediction only
+// changes when the clock moves or SetRate runs (which resets peAt).
+func (s *Scheduler) predEndOf(r *rjob, now int64) int64 {
+	if r.peAt != now {
+		r.peAt = now
+		r.peVal = r.predEnd(now)
+	}
+	return r.peVal
+}
+
 // Scheduler runs one policy over one workload.
 type Scheduler struct {
 	cfg Config
@@ -58,18 +83,40 @@ type Scheduler struct {
 
 	queue   []*rjob
 	running map[job.ID]*rjob
+	// runList mirrors `running` as a slice so the per-pass iterations
+	// (profile build, cut-off, mate filter) avoid map-range overhead.
+	// Order is begin-order with swap-removal on finish; every consumer
+	// is order-independent (max/sort/total-order reductions).
+	runList []*rjob
 	results []metrics.JobResult
 	meter   *energy.Meter
 
 	passPending bool
+	passFn      func()  // cached method value, scheduled by requestPass
 	maxSD       float64 // effective cut-off for the current pass
 
 	// counters
 	mallStarts int
 	passes     uint64
 
-	// scratch buffers reused across passes
-	relBuf []int64
+	// Scratch reused across passes. relBuf holds the per-node latest
+	// predicted release time; relAt/relDirty implement its incremental
+	// maintenance: it is recomputed only when the clock moved or an
+	// allocation/rate changed since it was last built, so the feature
+	// profile of the same pass reuses it for free.
+	relBuf   []int64
+	relAt    int64
+	relDirty bool
+
+	relsBuf   []int64   // compacted releases for the pass profile
+	frelsBuf  []int64   // feature-filtered releases
+	sdsBuf    []float64 // dynamic-cutoff slowdown samples
+	sharesBuf []int     // per-node shares for rate refreshes
+	matesBuf  []nodemgr.Mate
+	prof      profile // pass profile backing store
+	fprof     profile // feature profile backing store
+	search    mateSearch
+	selBuf    mateSelection
 }
 
 // NewScheduler wires a scheduler over fresh substrate instances.
@@ -83,16 +130,19 @@ func NewScheduler(eng *sim.Engine, cfg Config, machine cluster.Config) *Schedule
 	if idleW == 0 && coreW == 0 {
 		idleW, coreW = energy.DefaultIdleNodeW, energy.DefaultCoreW
 	}
-	return &Scheduler{
-		cfg:     cfg,
-		eng:     eng,
-		cl:      cl,
-		reg:     reg,
-		mgr:     nodemgr.New(cl, reg, cfg.SharingFactor),
-		running: make(map[job.ID]*rjob),
-		meter:   energy.NewMeter(machine.Nodes, idleW, coreW),
-		maxSD:   cfg.MaxSlowdown,
+	s := &Scheduler{
+		cfg:      cfg,
+		eng:      eng,
+		cl:       cl,
+		reg:      reg,
+		mgr:      nodemgr.New(cl, reg, cfg.SharingFactor),
+		running:  make(map[job.ID]*rjob),
+		meter:    energy.NewMeter(machine.Nodes, idleW, coreW),
+		maxSD:    cfg.MaxSlowdown,
+		relDirty: true,
 	}
+	s.passFn = s.pass
+	return s
 }
 
 // Cluster exposes the cluster for inspection in tests.
@@ -140,7 +190,7 @@ func (s *Scheduler) requestPass() {
 		return
 	}
 	s.passPending = true
-	s.eng.Schedule(s.eng.Now(), sim.PriSched, s.pass)
+	s.eng.Schedule(s.eng.Now(), sim.PriSched, s.passFn)
 }
 
 // shareFactor returns the extra throughput multiplier of the job: under
@@ -158,29 +208,34 @@ func (s *Scheduler) shareFactor(r *rjob) float64 {
 	return 1
 }
 
-// trueRate computes the job's progress rate under the configured
-// runtime model from its current per-node shares.
-func (s *Scheduler) trueRate(r *rjob) float64 {
-	shares := s.mgr.Shares(r.j.ID, r.nodes)
-	return model.Rate(s.cfg.RuntimeModel, shares, s.cl.Config().CoresPerNode(), r.speedup) *
-		s.shareFactor(r)
-}
-
-// predRate computes the prediction rate: always the worst-case model, so
-// the scheduler can guarantee completion inside predictions.
-func (s *Scheduler) predRate(r *rjob) float64 {
-	shares := s.mgr.Shares(r.j.ID, r.nodes)
-	return model.Rate(model.WorstCase, shares, s.cl.Config().CoresPerNode(), nil) *
-		s.shareFactor(r)
+// setRates derives both progress rates from the job's current per-node
+// shares (queried once) and returns the true remaining wall time.
+// trueRate uses the configured runtime model; the prediction always uses
+// the worst-case model, so the scheduler can guarantee completion inside
+// predictions.
+func (s *Scheduler) setRates(r *rjob, now int64) int64 {
+	s.sharesBuf = s.mgr.SharesInto(s.sharesBuf[:0], r.j.ID, r.nodes)
+	full := s.cl.Config().CoresPerNode()
+	r.allFull = true
+	for _, c := range s.sharesBuf {
+		if c != full {
+			r.allFull = false
+			break
+		}
+	}
+	sf := s.shareFactor(r)
+	r.prog.SetRate(now, model.Rate(s.cfg.RuntimeModel, s.sharesBuf, full, r.speedup)*sf)
+	r.pred.SetRate(now, model.Rate(model.WorstCase, s.sharesBuf, full, nil)*sf)
+	r.peAt = peInvalid
+	s.relDirty = true
+	return r.prog.RemainingWall(now)
 }
 
 // refreshRates re-derives both rates after an allocation change and
 // reschedules the completion event.
 func (s *Scheduler) refreshRates(r *rjob) {
 	now := s.eng.Now()
-	r.prog.SetRate(now, s.trueRate(r))
-	r.pred.SetRate(now, s.predRate(r))
-	rem := r.prog.RemainingWall(now)
+	rem := s.setRates(r, now)
 	if rem == math.MaxInt64 {
 		panic(fmt.Sprintf("sched: job %d starved to rate 0", r.j.ID))
 	}
@@ -194,14 +249,14 @@ func (s *Scheduler) begin(r *rjob, malleable bool) {
 	r.mallStart = malleable
 	r.prog = model.NewProgress(now, float64(r.j.ActualTime))
 	r.pred = model.NewProgress(now, float64(r.j.ReqTime))
-	r.prog.SetRate(now, s.trueRate(r))
-	r.pred.SetRate(now, s.predRate(r))
-	rem := r.prog.RemainingWall(now)
+	rem := s.setRates(r, now)
 	if rem == math.MaxInt64 {
 		panic(fmt.Sprintf("sched: job %d starts starved", r.j.ID))
 	}
 	r.endEv = s.eng.Schedule(now+rem, sim.PriEnd, func() { s.finish(r) })
 	s.running[r.j.ID] = r
+	r.runIdx = len(s.runList)
+	s.runList = append(s.runList, r)
 	if malleable {
 		s.mallStarts++
 	}
@@ -216,6 +271,13 @@ func (s *Scheduler) finish(r *rjob) {
 		panic(fmt.Sprintf("sched: job %d completion fired with work left", r.j.ID))
 	}
 	delete(s.running, r.j.ID)
+	last := len(s.runList) - 1
+	moved := s.runList[last]
+	s.runList[r.runIdx] = moved
+	moved.runIdx = r.runIdx
+	s.runList[last] = nil
+	s.runList = s.runList[:last]
+	s.relDirty = true
 
 	// Listing 3's end path: clean DROM state, release the nodes, let the
 	// per-node survivor (owner expanding back, or malleable guest
@@ -368,10 +430,11 @@ func (s *Scheduler) tryMalleable(r *rjob, est int64, prof *profile) bool {
 // startMalleable shrinks the selected mates and starts the guest on
 // their ceded cores (plus any free nodes mixed in).
 func (s *Scheduler) startMalleable(r *rjob, sel *mateSelection, mallRun int64) {
-	var mates []nodemgr.Mate
+	mates := s.matesBuf[:0]
 	for _, m := range sel.mates {
 		mates = append(mates, nodemgr.Mate{ID: m.j.ID, Nodes: m.nodes})
 	}
+	s.matesBuf = mates[:0]
 	s.mgr.StartGuest(r.j.ID, mates)
 	r.nodes = r.nodes[:0]
 	for _, m := range sel.mates {
@@ -410,27 +473,51 @@ func (s *Scheduler) startMalleable(r *rjob, sel *mateSelection, mallRun int64) {
 	}
 }
 
+// nodeReleases returns the per-node latest predicted release time
+// (shared nodes collapse to their latest resident). The array is
+// rebuilt only when the dirty flag says a rate or allocation changed,
+// or the clock moved, since the last build — so the feature profiles
+// of a pass reuse the build done for the aggregate profile.
+func (s *Scheduler) nodeReleases(now int64) []int64 {
+	nodes := s.cl.Config().Nodes
+	if cap(s.relBuf) < nodes {
+		s.relBuf = make([]int64, nodes)
+	}
+	rel := s.relBuf[:nodes]
+	if !s.relDirty && s.relAt == now {
+		return rel
+	}
+	for i := range rel {
+		rel[i] = 0
+	}
+	for _, r := range s.runList {
+		end := s.predEndOf(r, now)
+		for _, nd := range r.nodes {
+			if end > rel[nd] {
+				rel[nd] = end
+			}
+		}
+	}
+	s.relAt, s.relDirty = now, false
+	return rel
+}
+
 // featureEarliestStart estimates when enough nodes carrying the job's
 // required features become free, from the running jobs' predicted ends.
 // Reservations of other waiting feature jobs are not feature-tracked;
 // the aggregate profile covers them approximately.
 func (s *Scheduler) featureEarliestStart(r *rjob, now int64) int64 {
 	matching := s.cl.NodesWith(r.j.Features)
-	rel := make(map[int]int64)
-	for _, other := range s.running {
-		end := other.predEnd(now)
-		for _, nd := range other.nodes {
-			if s.cl.NodeHasFeatures(nd, r.j.Features) && end > rel[nd] {
-				rel[nd] = end
-			}
+	rel := s.nodeReleases(now)
+	frels := s.frelsBuf[:0]
+	for nd, end := range rel {
+		if end > 0 && s.cl.NodeHasFeatures(nd, r.j.Features) {
+			frels = append(frels, end)
 		}
 	}
-	releases := make([]int64, 0, len(rel))
-	for _, end := range rel {
-		releases = append(releases, end)
-	}
-	p := newProfile(now, matching, s.cl.FreeNodesWith(r.j.Features), releases)
-	return p.earliestStart(r.j.ReqNodes, r.j.ReqTime)
+	s.frelsBuf = frels
+	s.fprof.init(now, matching, s.cl.FreeNodesWith(r.j.Features), frels)
+	return s.fprof.earliestStart(r.j.ReqNodes, r.j.ReqTime)
 }
 
 // buildProfile constructs the availability step function from per-node
@@ -438,46 +525,35 @@ func (s *Scheduler) featureEarliestStart(r *rjob, now int64) int64 {
 // predicted end).
 func (s *Scheduler) buildProfile(now int64) *profile {
 	nodes := s.cl.Config().Nodes
-	if cap(s.relBuf) < nodes {
-		s.relBuf = make([]int64, nodes)
-	}
-	rel := s.relBuf[:nodes]
-	for i := range rel {
-		rel[i] = 0
-	}
-	for _, r := range s.running {
-		end := r.predEnd(now)
-		for _, nd := range r.nodes {
-			if end > rel[nd] {
-				rel[nd] = end
-			}
-		}
-	}
-	releases := make([]int64, 0, nodes-s.cl.FreeNodes())
+	rel := s.nodeReleases(now)
+	rels := s.relsBuf[:0]
 	for _, t := range rel {
 		if t > 0 {
-			releases = append(releases, t)
+			rels = append(rels, t)
 		}
 	}
-	return newProfile(now, nodes, s.cl.FreeNodes(), releases)
+	s.relsBuf = rels
+	s.prof.init(now, nodes, s.cl.FreeNodes(), rels)
+	return &s.prof
 }
 
 // dynamicCutoff computes the feedback cut-off from the predicted
 // slowdowns of running jobs (Section 3.2.2, case 2).
 func (s *Scheduler) dynamicCutoff(now int64) float64 {
-	if len(s.running) == 0 {
+	if len(s.runList) == 0 {
 		return math.Inf(1)
 	}
-	sds := make([]float64, 0, len(s.running))
-	for _, r := range s.running {
+	sds := s.sdsBuf[:0]
+	for _, r := range s.runList {
 		wait := float64(r.start - r.j.Submit)
-		end := r.predEnd(now)
+		end := s.predEndOf(r, now)
 		if end == math.MaxInt64 {
 			continue
 		}
 		run := float64(end - r.start)
 		sds = append(sds, (wait+run)/float64(r.j.ReqTime))
 	}
+	s.sdsBuf = sds
 	if len(sds) == 0 {
 		return math.Inf(1)
 	}
@@ -489,9 +565,9 @@ func (s *Scheduler) dynamicCutoff(now int64) float64 {
 		}
 		return sum / float64(len(sds))
 	case CutoffDynMedian:
-		return stats.Percentile(sds, 50)
+		return stats.PercentileInPlace(sds, 50)
 	case CutoffDynP70:
-		return stats.Percentile(sds, 70)
+		return stats.PercentileInPlace(sds, 70)
 	}
 	panic(fmt.Sprintf("sched: unexpected cutoff %v", s.cfg.Cutoff))
 }

@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventHeap exercises the event queue alone — schedule, fire,
+// cancel and reschedule churn over a standing population of pending
+// events — so a regression in the kernel's per-event constant is
+// attributable to this layer rather than to the scheduler built on top.
+// Run with -benchmem: the steady-state target is zero allocations per
+// event (slab + free list reuse).
+func BenchmarkEventHeap(b *testing.B) {
+	const standing = 4096
+	b.Run("schedule-fire", func(b *testing.B) {
+		e := NewEngine()
+		var evs [standing]Event
+		for i := range evs {
+			evs[i] = e.Schedule(Time(i%97), PriSched, func() {})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !e.Step() {
+				b.Fatal("queue drained")
+			}
+			e.Schedule(e.Now()+Time(i%193), PriSched, func() {})
+		}
+	})
+	b.Run("cancel-reschedule", func(b *testing.B) {
+		e := NewEngine()
+		var evs [standing]Event
+		for i := range evs {
+			evs[i] = e.Schedule(Time(i%97)+1, PriSched, func() {})
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := i % standing
+			if i%3 == 0 {
+				e.Cancel(evs[k])
+				evs[k] = e.Schedule(Time(i%151)+1, PriSched, func() {})
+			} else {
+				evs[k] = e.Reschedule(evs[k], Time(i%151)+1)
+			}
+		}
+	})
+}

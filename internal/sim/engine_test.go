@@ -49,7 +49,7 @@ func TestCancel(t *testing.T) {
 	ev := e.Schedule(5, PriSched, func() { fired = true })
 	e.Cancel(ev)
 	e.Cancel(ev) // double cancel is a no-op
-	e.Cancel(nil)
+	e.Cancel(Event{})
 	e.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
@@ -62,7 +62,7 @@ func TestCancel(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	e := NewEngine()
 	var got []int
-	evs := make([]*Event, 10)
+	evs := make([]Event, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		evs[i] = e.Schedule(Time(i), PriSched, func() { got = append(got, i) })
@@ -147,7 +147,7 @@ func TestPropertyTimeOrdered(t *testing.T) {
 	f := func(times []uint16, cancelMask []bool) bool {
 		e := NewEngine()
 		var fired []Time
-		var evs []*Event
+		var evs []Event
 		for _, tm := range times {
 			at := Time(tm)
 			evs = append(evs, e.Schedule(at, PriSched, func() {
@@ -174,7 +174,7 @@ func TestPropertyExactlyOnce(t *testing.T) {
 		e := NewEngine()
 		const n = 500
 		counts := make([]int, n)
-		evs := make([]*Event, n)
+		evs := make([]Event, n)
 		for i := 0; i < n; i++ {
 			i := i
 			evs[i] = e.Schedule(Time(rng.Intn(100)), Priority(rng.Intn(3)), func() { counts[i]++ })
@@ -195,5 +195,76 @@ func TestPropertyExactlyOnce(t *testing.T) {
 				t.Fatalf("trial %d: event %d fired %d times, want %d", trial, i, c, want)
 			}
 		}
+	}
+}
+
+// TestRescheduleFiredPanics pins the other half of Reschedule's
+// contract: a fired event's callback is gone and its storage recycled,
+// so rescheduling it is a logic error, not a silent fresh schedule.
+func TestRescheduleFiredPanics(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(5, PriSched, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on rescheduling a fired event")
+		}
+	}()
+	e.Reschedule(ev, 10)
+}
+
+func TestRescheduleCancelledPanics(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(5, PriSched, func() {})
+	e.Cancel(ev)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on rescheduling a cancelled event")
+		}
+	}()
+	e.Reschedule(ev, 10)
+}
+
+// TestStaleHandleAfterRecycle pins the free-list safety property: a
+// handle kept past its event's firing must stay dead even after the
+// slot is recycled by a new Schedule — Cancel through it must not
+// touch the new occupant.
+func TestStaleHandleAfterRecycle(t *testing.T) {
+	e := NewEngine()
+	stale := e.Schedule(1, PriSched, func() {})
+	if !e.Step() {
+		t.Fatal("no event fired")
+	}
+	fired := false
+	fresh := e.Schedule(2, PriSched, func() { fired = true })
+	if fresh.slot != stale.slot {
+		t.Fatalf("expected slot reuse (stale %d, fresh %d)", stale.slot, fresh.slot)
+	}
+	e.Cancel(stale) // must be a no-op: generations differ
+	e.Run()
+	if !fired {
+		t.Fatal("stale Cancel killed a recycled slot's fresh event")
+	}
+}
+
+// TestReset pins engine pooling behaviour: a Reset engine behaves like
+// a fresh one while old handles stay dead.
+func TestReset(t *testing.T) {
+	e := NewEngine()
+	old := e.Schedule(5, PriSched, func() {})
+	e.Schedule(7, PriSched, func() {})
+	e.Run()
+	leftover := e.Schedule(9, PriSched, func() { t.Error("pre-Reset pending event fired") })
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.Processed() != 0 {
+		t.Fatalf("Reset left state: now=%d pending=%d processed=%d", e.Now(), e.Pending(), e.Processed())
+	}
+	fired := 0
+	e.Schedule(3, PriSched, func() { fired++ })
+	e.Cancel(old)      // dead handle from before Reset: no-op
+	e.Cancel(leftover) // pending-at-Reset handle: also dead
+	e.Run()
+	if fired != 1 || e.Processed() != 1 {
+		t.Fatalf("post-Reset run fired %d events (processed %d), want 1", fired, e.Processed())
 	}
 }

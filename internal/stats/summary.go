@@ -76,26 +76,34 @@ func (s *Summary) Stddev() float64 { return math.Sqrt(s.Var()) }
 // linear interpolation between closest ranks. It does not modify xs.
 // It panics on an empty slice or a p outside [0, 100].
 func Percentile(xs []float64, p float64) float64 {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	return PercentileInPlace(sorted, p)
+}
+
+// PercentileInPlace is Percentile without the defensive copy: it sorts
+// xs in place, so callers that own a reusable scratch buffer (the
+// scheduler's dynamic-cutoff path) pay zero allocations per call. The
+// interpolation is identical to Percentile's.
+func PercentileInPlace(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		panic("stats: percentile of empty slice")
 	}
 	if p < 0 || p > 100 {
 		panic("stats: percentile out of range")
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
-	if len(sorted) == 1 {
-		return sorted[0]
+	sort.Float64s(xs)
+	if len(xs) == 1 {
+		return xs[0]
 	}
-	rank := p / 100 * float64(len(sorted)-1)
+	rank := p / 100 * float64(len(xs)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return sorted[lo]
+		return xs[lo]
 	}
 	frac := rank - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return xs[lo]*(1-frac) + xs[hi]*frac
 }
 
 // Median returns the 50th percentile of xs.
