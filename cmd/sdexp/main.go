@@ -15,6 +15,16 @@
 // -scale 1 reproduces the paper's full workload sizes (wl4 alone then
 // simulates 198509 jobs and takes correspondingly long).
 //
+// -experiment name runs one experiment of the shared registry (the
+// same registry sdserve exposes as /v1/experiments; -experiment list
+// prints it) and renders its result without the -exp banner and timing
+// lines, so two runs of the same experiment are byte-comparable.
+// Combined with -server url1,url2 the experiment is created as a
+// /v1/experiments resource on a remote sdserve deployment — the server
+// simulates (fanning out to its worker fleet if it is a coordinator)
+// and streams back reduced rows plus a summary, and the rendered output
+// is byte-identical to the local run.
+//
 // -points file.json bypasses the experiment index and streams an
 // arbitrary campaign — a JSON array of {workload, scale, seed,
 // malleable_fraction, derivations, options} points, the same wire
@@ -70,7 +80,6 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
-	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -85,12 +94,12 @@ import (
 	"sdpolicy"
 	"sdpolicy/internal/serve"
 	"sdpolicy/internal/telemetry"
-	"sdpolicy/internal/viz"
 )
 
 func main() {
 	var (
 		exp        = flag.String("exp", "all", "experiment: all | table1 | table2 | fig1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | ablations | none (cache maintenance only)")
+		experiment = flag.String("experiment", "", "run one registry experiment by name (list = print the registry); with -server the experiment runs remotely via /v1/experiments with byte-identical output")
 		scale      = flag.Float64("scale", 0.1, "workload scale factor (0,1]")
 		seed       = flag.Uint64("seed", 1, "generator seed")
 		outDir     = flag.String("out", "", "also write each experiment's output under this directory")
@@ -107,8 +116,12 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write an allocs/heap profile to this file on exit, after a final GC (go test convention)")
 	)
 	flag.Parse()
-	if *points == "" && (*shard != "" || *server != "") {
-		fmt.Fprintln(os.Stderr, "sdexp: -shard and -server require -points")
+	if *points == "" && *shard != "" {
+		fmt.Fprintln(os.Stderr, "sdexp: -shard requires -points")
+		os.Exit(1)
+	}
+	if *server != "" && *points == "" && *experiment == "" {
+		fmt.Fprintln(os.Stderr, "sdexp: -server requires -points or -experiment")
 		os.Exit(1)
 	}
 	stopProfiles, perr := startProfiles(*cpuprofile, *memprofile)
@@ -200,6 +213,8 @@ func main() {
 	case err != nil:
 	case *points != "":
 		err = runner.runPoints(*points, *shard, *server, warmRemote)
+	case *experiment != "":
+		err = runner.runExperiment(*experiment, *server)
 	case *exp == "none":
 		// Cache maintenance only (-merge-cache ... -cache-dir out).
 	default:
@@ -512,26 +527,16 @@ func (r *runner) table1(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-5s %-16s %8s %7s %8s %8s %14s %14s %12s\n",
-		"ID", "Log/model", "#jobs", "nodes", "cores", "max-job", "avg-resp(s)", "avg-slowdown", "makespan(s)")
-	for _, t := range rows {
-		fmt.Fprintf(w, "%-5s %-16s %8d %7d %8d %8d %14.1f %14.1f %12d\n",
-			t.ID, t.Name, t.Jobs, t.Nodes, t.Cores, t.MaxJobNodes,
-			t.AvgResponse, t.AvgSlowdown, t.Makespan)
-	}
+	renderTable1(w, rows)
 	return nil
 }
 
 func (r *runner) table2(w io.Writer) error {
-	rows, err := sdpolicy.Table2(r.scale, r.seed)
+	rows, err := r.engine.Table2(r.ctx, r.scale, r.seed)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-12s %10s %10s\n", "Application", "share(%)", "paper(%)")
-	paper := map[string]float64{"PILS": 30.5, "STREAM": 30.8, "CoreNeuron": 35.5, "NEST": 2.6, "Alya": 0.6}
-	for _, t := range rows {
-		fmt.Fprintf(w, "%-12s %10.1f %10.1f\n", t.App, t.SharePct, paper[t.App])
-	}
+	renderTable2(w, rows)
 	return nil
 }
 
@@ -540,31 +545,7 @@ func (r *runner) figs123(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "values normalised to the static backfill baseline (1.00 = equal)")
-	fmt.Fprintf(w, "%-5s %-10s %10s %10s %10s %10s\n",
-		"WL", "variant", "makespan", "response", "slowdown", "mall-jobs")
-	for _, row := range rows {
-		fmt.Fprintf(w, "%-5s %-10s %10.3f %10.3f %10.3f %10d\n",
-			row.Workload, row.Variant, row.Makespan, row.AvgResponse,
-			row.AvgSlowdown, row.MalleableStarts)
-	}
-	fmt.Fprintln(w)
-	charts := []struct {
-		title string
-		pick  func(sdpolicy.SweepRow) float64
-	}{
-		{"Figure 1: makespan normalised to static backfill ('|' = 1.0)", func(x sdpolicy.SweepRow) float64 { return x.Makespan }},
-		{"Figure 2: avg response time normalised to static backfill", func(x sdpolicy.SweepRow) float64 { return x.AvgResponse }},
-		{"Figure 3: avg slowdown normalised to static backfill", func(x sdpolicy.SweepRow) float64 { return x.AvgSlowdown }},
-	}
-	for _, c := range charts {
-		var bars []viz.Bar
-		for _, row := range rows {
-			bars = append(bars, viz.Bar{Label: row.Workload + " " + row.Variant, Value: c.pick(row)})
-		}
-		viz.HBar(w, c.title, bars, viz.HBarConfig{Width: 40, Reference: 1.0})
-		fmt.Fprintln(w)
-	}
+	renderSweep(w, rows)
 	return nil
 }
 
@@ -573,19 +554,8 @@ func (r *runner) figs456(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "wl4: static slowdown %.1f vs SD(MAXSD 10) %.1f (%.1f%% reduction)\n",
-		an.Static.AvgSlowdown, an.SD.AvgSlowdown,
-		100*(an.Static.AvgSlowdown-an.SD.AvgSlowdown)/an.Static.AvgSlowdown)
-	printHeatmap(w, "Figure 4: slowdown ratio static/SD per job category", an.SlowdownRatio)
-	printHeatmap(w, "Figure 5: runtime ratio static/SD per job category", an.RunTimeRatio)
-	printHeatmap(w, "Figure 6: wait-time ratio static/SD per job category", an.WaitRatio)
+	renderBigHeatmaps(w, an)
 	return nil
-}
-
-func printHeatmap(w io.Writer, title string, cells [][]float64) {
-	nodeLabels, timeLabels := sdpolicy.HeatmapLabels()
-	viz.Heat(w, title, nodeLabels, timeLabels, cells)
-	fmt.Fprintln(w)
 }
 
 func (r *runner) fig7(w io.Writer) error {
@@ -593,38 +563,7 @@ func (r *runner) fig7(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "malleable starts %d (%.1f%% of jobs), mates %d (%.1f%%)\n",
-		an.SD.MalleableStarts, 100*float64(an.SD.MalleableStarts)/float64(an.SD.Jobs),
-		an.SD.Mates, 100*float64(an.SD.Mates)/float64(an.SD.Jobs))
-	sdByDay := map[int]sdpolicy.DayPoint{}
-	for _, d := range an.SDDaily {
-		sdByDay[d.Day] = d
-	}
-	fmt.Fprintf(w, "%-5s %12s %12s %12s\n", "day", "static-sd", "sdpolicy-sd", "mall-starts")
-	lastDay := 0
-	for _, d := range an.StaticDaily {
-		sd := sdByDay[d.Day]
-		fmt.Fprintf(w, "%-5d %12.1f %12.1f %12d\n", d.Day, d.AvgSlowdown, sd.AvgSlowdown, sd.MalleableStarts)
-		if d.Day > lastDay {
-			lastDay = d.Day
-		}
-	}
-	static := make([]float64, lastDay+1)
-	sdpts := make([]float64, lastDay+1)
-	for i := range static {
-		static[i], sdpts[i] = math.NaN(), math.NaN()
-	}
-	for _, d := range an.StaticDaily {
-		static[d.Day] = d.AvgSlowdown
-	}
-	for _, d := range an.SDDaily {
-		sdpts[d.Day] = d.AvgSlowdown
-	}
-	fmt.Fprintln(w)
-	viz.Plot(w, "Figure 7: per-day average slowdown (x = day)", 12, []viz.Series{
-		{Name: "static backfill", Points: static},
-		{Name: "SD-Policy MAXSD 10", Points: sdpts},
-	})
+	renderBigDaily(w, an)
 	return nil
 }
 
@@ -633,12 +572,7 @@ func (r *runner) fig8(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "SD-Policy DynAVGSD normalised to static backfill, per runtime model")
-	fmt.Fprintf(w, "%-5s %-7s %10s %10s %10s\n", "WL", "model", "makespan", "response", "slowdown")
-	for _, row := range rows {
-		fmt.Fprintf(w, "%-5s %-7s %10.3f %10.3f %10.3f\n",
-			row.Workload, row.Model, row.Makespan, row.AvgResponse, row.AvgSlowdown)
-	}
+	renderModels(w, rows)
 	return nil
 }
 
@@ -647,13 +581,7 @@ func (r *runner) fig9(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "improvement of SD-Policy over static backfill (positive = better):")
-	fmt.Fprintf(w, "%-14s %10s %10s\n", "metric", "ours(%)", "paper(%)")
-	fmt.Fprintf(w, "%-14s %10.1f %10.1f\n", "makespan", rep.MakespanPct, 7.0)
-	fmt.Fprintf(w, "%-14s %10.1f %10.1f\n", "avg response", rep.AvgResponsePct, 16.0)
-	fmt.Fprintf(w, "%-14s %10.1f %10.1f\n", "avg slowdown", rep.AvgSlowdownPct, 16.0)
-	fmt.Fprintf(w, "%-14s %10.1f %10.1f\n", "energy", rep.EnergyPct, 6.0)
-	fmt.Fprintf(w, "malleable starts: %d of %d jobs\n", rep.SD.MalleableStarts, rep.SD.Jobs)
+	renderRealRun(w, rep)
 	return nil
 }
 
@@ -690,15 +618,6 @@ func (r *runner) ablations(w io.Writer) error {
 	}
 	all = append(all, pc...)
 	fmt.Fprintln(w, "wl1, normalised to static backfill (lower is better)")
-	fmt.Fprintf(w, "%-20s %-8s %10s %10s %10s\n", "parameter", "value", "slowdown", "response", "makespan")
-	last := ""
-	for _, row := range all {
-		if row.Parameter != last {
-			fmt.Fprintln(w, strings.Repeat("-", 62))
-			last = row.Parameter
-		}
-		fmt.Fprintf(w, "%-20s %-8s %10.3f %10.3f %10.3f\n",
-			row.Parameter, row.Value, row.AvgSlowdown, row.AvgResponse, row.Makespan)
-	}
+	renderAblationTable(w, all)
 	return nil
 }

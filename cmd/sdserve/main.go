@@ -17,6 +17,15 @@
 //	                   stream (SSE or NDJSON), resumable from any seq
 //	GET  /v1/campaigns/{id}/status      compact progress
 //	DELETE /v1/campaigns/{id}           cancel
+//	GET  /v1/experiments  list the experiment registry (names, params)
+//	POST /v1/experiments  {"experiment":"table1","params":{...}} —
+//	                   creates a journaled campaign that streams the
+//	                   named experiment's reduced rows (201 + Location)
+//	GET  /v1/experiments/{id}?from=<seq>  attach to the experiment's
+//	                   row stream (SSE or NDJSON); the terminal frame
+//	                   carries the same summary the local Engine
+//	                   helper returns, byte for byte
+//	DELETE /v1/experiments/{id}         cancel
 //	POST /v1/campaign  deprecated byte-compatible alias: one-shot
 //	                   streaming campaign tied to the connection;
 //	                   ?reports=1 adds per-job report frames

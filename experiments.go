@@ -2,8 +2,10 @@ package sdpolicy
 
 import (
 	"context"
-	"fmt"
+	"encoding/json"
 	"math"
+
+	"sdpolicy/internal/reducer"
 )
 
 // Variant is one labelled scheduler configuration of an experiment sweep.
@@ -49,35 +51,13 @@ func SweepMaxSD(workloads []string, scale float64, seed uint64) ([]SweepRow, err
 // engine's worker pool; each workload's baseline simulates once and is
 // shared by its variant rows through the campaign cache.
 func (e *Engine) SweepMaxSD(ctx context.Context, workloads []string, scale float64, seed uint64) ([]SweepRow, error) {
-	variants := MaxSDVariants()
-	stride := 1 + len(variants) // baseline + variants per workload
-	var points []Point
-	for _, name := range workloads {
-		points = append(points, NewPoint(name, scale, seed, Options{Policy: "static"}))
-		for _, v := range variants {
-			points = append(points, NewPoint(name, scale, seed, v.Options))
-		}
-	}
-	results, err := e.Run(ctx, points)
+	v, err := e.Experiment(ctx, "sweep_maxsd", reducer.Params{
+		"workloads": workloads, "scale": scale, "seed": seed,
+	})
 	if err != nil {
 		return nil, err
 	}
-	var rows []SweepRow
-	for wi, name := range workloads {
-		base := results[wi*stride]
-		for vi, v := range variants {
-			res := results[wi*stride+1+vi]
-			rows = append(rows, SweepRow{
-				Workload:        name,
-				Variant:         v.Label,
-				Makespan:        ratio(float64(res.Makespan), float64(base.Makespan)),
-				AvgResponse:     ratio(res.AvgResponse, base.AvgResponse),
-				AvgSlowdown:     ratio(res.AvgSlowdown, base.AvgSlowdown),
-				MalleableStarts: res.MalleableStarts,
-			})
-		}
-	}
-	return rows, nil
+	return v.([]SweepRow), nil
 }
 
 // ModelRow is one Figure 8 point: an SD-Policy DynAVGSD run under one
@@ -98,34 +78,52 @@ func CompareRuntimeModels(workloads []string, scale float64, seed uint64) ([]Mod
 // CompareRuntimeModels regenerates Figure 8: SD-Policy with the dynamic
 // cut-off under the ideal and the worst-case runtime models.
 func (e *Engine) CompareRuntimeModels(ctx context.Context, workloads []string, scale float64, seed uint64) ([]ModelRow, error) {
-	models := []string{"ideal", "worst"}
-	var points []Point
-	for _, name := range workloads {
-		for _, mdl := range models {
-			points = append(points, NewPoint(name, scale, seed, Options{Policy: "static", Model: mdl}))
-			points = append(points, NewPoint(name, scale, seed, Options{Policy: "sd", DynamicCutoff: "avg", Model: mdl}))
-		}
-	}
-	results, err := e.Run(ctx, points)
+	v, err := e.Experiment(ctx, "runtime_models", reducer.Params{
+		"workloads": workloads, "scale": scale, "seed": seed,
+	})
 	if err != nil {
 		return nil, err
 	}
-	var rows []ModelRow
-	i := 0
-	for _, name := range workloads {
-		for _, mdl := range models {
-			base, res := results[i], results[i+1]
-			i += 2
-			rows = append(rows, ModelRow{
-				Workload:    name,
-				Model:       mdl,
-				Makespan:    ratio(float64(res.Makespan), float64(base.Makespan)),
-				AvgResponse: ratio(res.AvgResponse, base.AvgResponse),
-				AvgSlowdown: ratio(res.AvgSlowdown, base.AvgSlowdown),
-			})
+	return v.([]ModelRow), nil
+}
+
+// HeatCells is a heatmap cell grid that survives JSON round-trips:
+// empty buckets are NaN in memory (the HeatmapRatio convention, which
+// encoding/json refuses to marshal) and null on the wire.
+type HeatCells [][]float64
+
+func (h HeatCells) MarshalJSON() ([]byte, error) {
+	rows := make([][]*float64, len(h))
+	for i, row := range h {
+		rows[i] = make([]*float64, len(row))
+		for j := range row {
+			if !math.IsNaN(row[j]) {
+				v := row[j]
+				rows[i][j] = &v
+			}
 		}
 	}
-	return rows, nil
+	return json.Marshal(rows)
+}
+
+func (h *HeatCells) UnmarshalJSON(data []byte) error {
+	var rows [][]*float64
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return err
+	}
+	out := make(HeatCells, len(rows))
+	for i, row := range rows {
+		out[i] = make([]float64, len(row))
+		for j, v := range row {
+			if v == nil {
+				out[i][j] = math.NaN()
+			} else {
+				out[i][j] = *v
+			}
+		}
+	}
+	*h = out
+	return nil
 }
 
 // BigAnalysis is the Section 4.2 study of the large workload (Figures
@@ -136,9 +134,9 @@ type BigAnalysis struct {
 	SD     *Result
 	// Ratios are static/SD means per (node bucket × runtime bucket):
 	// above 1.0 means SD improved that category (Figures 4-6).
-	SlowdownRatio [][]float64
-	RunTimeRatio  [][]float64
-	WaitRatio     [][]float64
+	SlowdownRatio HeatCells
+	RunTimeRatio  HeatCells
+	WaitRatio     HeatCells
 	// Daily series of both runs (Figure 7).
 	StaticDaily []DayPoint
 	SDDaily     []DayPoint
@@ -154,23 +152,11 @@ func AnalyzeBigWorkload(scale float64, seed uint64) (*BigAnalysis, error) {
 // runs execute concurrently and are shared with any other campaign
 // touching the same points (e.g. fig7 after fig4-6 is all cache hits).
 func (e *Engine) AnalyzeBigWorkload(ctx context.Context, scale float64, seed uint64) (*BigAnalysis, error) {
-	results, err := e.Run(ctx, []Point{
-		NewPoint("wl4", scale, seed, Options{Policy: "static"}),
-		NewPoint("wl4", scale, seed, Options{Policy: "sd", MaxSlowdown: 10}),
-	})
+	v, err := e.Experiment(ctx, "big_workload", reducer.Params{"scale": scale, "seed": seed})
 	if err != nil {
 		return nil, err
 	}
-	static, sd := results[0], results[1]
-	return &BigAnalysis{
-		Static:        static,
-		SD:            sd,
-		SlowdownRatio: static.HeatmapRatio(sd, HeatSlowdown),
-		RunTimeRatio:  static.HeatmapRatio(sd, HeatRunTime),
-		WaitRatio:     static.HeatmapRatio(sd, HeatWait),
-		StaticDaily:   static.Daily(),
-		SDDaily:       sd.Daily(),
-	}, nil
+	return v.(*BigAnalysis), nil
 }
 
 // RealRunReport is the Figure 9 comparison on the application workload:
@@ -193,22 +179,11 @@ func RealRunExperiment(scale float64, seed uint64) (*RealRunReport, error) {
 // RealRunExperiment regenerates Figure 9: the wl5 application mix under
 // the contention-aware App runtime model, static vs SD-Policy.
 func (e *Engine) RealRunExperiment(ctx context.Context, scale float64, seed uint64) (*RealRunReport, error) {
-	results, err := e.Run(ctx, []Point{
-		NewPoint("wl5", scale, seed, Options{Policy: "static", Model: "app"}),
-		NewPoint("wl5", scale, seed, Options{Policy: "sd", DynamicCutoff: "avg", Model: "app"}),
-	})
+	v, err := e.Experiment(ctx, "real_run", reducer.Params{"scale": scale, "seed": seed})
 	if err != nil {
 		return nil, err
 	}
-	static, sd := results[0], results[1]
-	return &RealRunReport{
-		Static:         static,
-		SD:             sd,
-		MakespanPct:    improvement(float64(static.Makespan), float64(sd.Makespan)),
-		AvgResponsePct: improvement(static.AvgResponse, sd.AvgResponse),
-		AvgSlowdownPct: improvement(static.AvgSlowdown, sd.AvgSlowdown),
-		EnergyPct:      improvement(static.EnergyKWh, sd.EnergyKWh),
-	}, nil
+	return v.(*RealRunReport), nil
 }
 
 // Table1Row is one workload inventory line of Table 1, with the
@@ -235,30 +210,11 @@ func Table1(scale float64, seed uint64) ([]Table1Row, error) {
 // concurrently and seed the cache for every later experiment that
 // normalises against them.
 func (e *Engine) Table1(ctx context.Context, scale float64, seed uint64) ([]Table1Row, error) {
-	names := []string{"wl1", "wl2", "wl3", "wl4", "wl5"}
-	points := make([]Point, len(names))
-	for i, name := range names {
-		points[i] = NewPoint(name, scale, seed, Options{Policy: "static"})
-	}
-	results, err := e.Run(ctx, points)
+	v, err := e.Experiment(ctx, "table1", reducer.Params{"scale": scale, "seed": seed})
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]Table1Row, 0, len(names))
-	for i, name := range names {
-		w, err := NewWorkload(name, scale, seed)
-		if err != nil {
-			return nil, err
-		}
-		res := results[i]
-		rows = append(rows, Table1Row{
-			ID: name, Name: w.Name(), Jobs: w.Jobs(),
-			Nodes: w.Nodes(), Cores: w.Cores(), MaxJobNodes: w.MaxJobNodes(),
-			AvgResponse: res.AvgResponse, AvgSlowdown: res.AvgSlowdown,
-			Makespan: res.Makespan,
-		})
-	}
-	return rows, nil
+	return v.([]Table1Row), nil
 }
 
 // Table2Row is one application line of Table 2.
@@ -267,10 +223,25 @@ type Table2Row struct {
 	SharePct float64
 }
 
-// Table2 regenerates the Table 2 application mix from the generated wl5
-// workload. It only generates the workload — no simulation — so it does
-// not go through the campaign engine.
+// Table2 regenerates the Table 2 application mix on the Default engine.
 func Table2(scale float64, seed uint64) ([]Table2Row, error) {
+	return Default().Table2(context.Background(), scale, seed)
+}
+
+// Table2 regenerates the Table 2 application mix from the generated wl5
+// workload. The experiment is generation-only — its point set is empty,
+// so nothing simulates — but it runs through the same registry path as
+// every other experiment and honours ctx cancellation.
+func (e *Engine) Table2(ctx context.Context, scale float64, seed uint64) ([]Table2Row, error) {
+	v, err := e.Experiment(ctx, "table2", reducer.Params{"scale": scale, "seed": seed})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]Table2Row), nil
+}
+
+// table2Rows generates the Table 2 mix; shared by the table2 descriptor.
+func table2Rows(scale float64, seed uint64) ([]Table2Row, error) {
 	w, err := NewWorkload("wl5", scale, seed)
 	if err != nil {
 		return nil, err
@@ -293,26 +264,20 @@ type AblationRow struct {
 	Makespan    float64
 }
 
-// ablate runs the static baseline plus every variant point of one
-// ablation campaign and normalises each variant against the baseline.
-// The baseline point is canonically identical across all ablations of
-// the same workload, so it simulates once per engine, not once per
-// sweep.
-func (e *Engine) ablate(ctx context.Context, param string, name string, scale float64, seed uint64, values []string, variant func(i int) Point) ([]AblationRow, error) {
-	points := []Point{NewPoint(name, scale, seed, Options{Policy: "static"})}
-	for i := range values {
-		points = append(points, variant(i))
+// ablateExperiment runs one ablation-family descriptor with the list
+// parameter that varies per family. The baseline point is canonically
+// identical across all ablations of the same workload, so it simulates
+// once per engine, not once per sweep.
+func (e *Engine) ablateExperiment(ctx context.Context, exp, name string, scale float64, seed uint64, listName string, list any) ([]AblationRow, error) {
+	params := reducer.Params{"workload": name, "scale": scale, "seed": seed}
+	if listName != "" {
+		params[listName] = list
 	}
-	results, err := e.Run(ctx, points)
+	v, err := e.Experiment(ctx, exp, params)
 	if err != nil {
 		return nil, err
 	}
-	base := results[0]
-	var rows []AblationRow
-	for i, v := range values {
-		rows = append(rows, ablation(param, v, results[i+1], base))
-	}
-	return rows, nil
+	return v.([]AblationRow), nil
 }
 
 // AblateSharingFactor sweeps the SharingFactor on the Default engine.
@@ -323,13 +288,7 @@ func AblateSharingFactor(name string, scale float64, seed uint64, factors []floa
 // AblateSharingFactor sweeps the SharingFactor (Section 3.3) on the
 // given workload.
 func (e *Engine) AblateSharingFactor(ctx context.Context, name string, scale float64, seed uint64, factors []float64) ([]AblationRow, error) {
-	values := make([]string, len(factors))
-	for i, sf := range factors {
-		values[i] = fmt.Sprintf("%.2f", sf)
-	}
-	return e.ablate(ctx, "sharing-factor", name, scale, seed, values, func(i int) Point {
-		return NewPoint(name, scale, seed, Options{Policy: "sd", SharingFactor: factors[i]})
-	})
+	return e.ablateExperiment(ctx, "ablate_sharing_factor", name, scale, seed, "factors", factors)
 }
 
 // AblateMaxMates sweeps the mate combination bound on the Default engine.
@@ -340,13 +299,7 @@ func AblateMaxMates(name string, scale float64, seed uint64, ms []int) ([]Ablati
 // AblateMaxMates sweeps m, the mate combination bound (Section 3.2.4:
 // "we did not see improvements ... increasing m over two").
 func (e *Engine) AblateMaxMates(ctx context.Context, name string, scale float64, seed uint64, ms []int) ([]AblationRow, error) {
-	values := make([]string, len(ms))
-	for i, m := range ms {
-		values[i] = fmt.Sprintf("%d", m)
-	}
-	return e.ablate(ctx, "max-mates", name, scale, seed, values, func(i int) Point {
-		return NewPoint(name, scale, seed, Options{Policy: "sd", MaxMates: ms[i]})
-	})
+	return e.ablateExperiment(ctx, "ablate_max_mates", name, scale, seed, "mates", ms)
 }
 
 // AblateMalleableFraction sweeps the malleable share on the Default engine.
@@ -358,15 +311,7 @@ func AblateMalleableFraction(name string, scale float64, seed uint64, fracs []fl
 // rigid/malleable workload (Section 1: SD-Policy "supports mixed
 // workloads ... ideal for being used in transition").
 func (e *Engine) AblateMalleableFraction(ctx context.Context, name string, scale float64, seed uint64, fracs []float64) ([]AblationRow, error) {
-	values := make([]string, len(fracs))
-	for i, f := range fracs {
-		values[i] = fmt.Sprintf("%.2f", f)
-	}
-	return e.ablate(ctx, "malleable-fraction", name, scale, seed, values, func(i int) Point {
-		p := NewPoint(name, scale, seed, Options{Policy: "sd"})
-		p.MalleableFraction = fracs[i]
-		return p
-	})
+	return e.ablateExperiment(ctx, "ablate_malleable_fraction", name, scale, seed, "fractions", fracs)
 }
 
 // AblateNodeFeatures sweeps the constrained-job share on the Default
@@ -382,16 +327,7 @@ func AblateNodeFeatures(name string, scale float64, seed uint64, fracs []float64
 // constrains the jobs, so the whole heterogeneous sweep is expressible
 // over /v1/campaign and shares one generated base workload.
 func (e *Engine) AblateNodeFeatures(ctx context.Context, name string, scale float64, seed uint64, fracs []float64) ([]AblationRow, error) {
-	const feature = "bigmem"
-	values := make([]string, len(fracs))
-	for i, f := range fracs {
-		values[i] = fmt.Sprintf("%.2f", f)
-	}
-	return e.ablate(ctx, "node-features", name, scale, seed, values, func(i int) Point {
-		return NewDerivedPoint(name, scale, seed, Options{Policy: "sd"},
-			TagNodesDerivation(feature, 0.5),
-			RequireFeatureDerivation(feature, fracs[i]))
-	})
+	return e.ablateExperiment(ctx, "ablate_node_features", name, scale, seed, "fractions", fracs)
 }
 
 // ComparePolicies compares the three policies on the Default engine.
@@ -405,10 +341,7 @@ func ComparePolicies(name string, scale float64, seed uint64) ([]AblationRow, er
 // static backfill; the static row doubles as the baseline and
 // simulates only once thanks to point canonicalisation.
 func (e *Engine) ComparePolicies(ctx context.Context, name string, scale float64, seed uint64) ([]AblationRow, error) {
-	policies := []string{"static", "oversubscribe", "sd"}
-	return e.ablate(ctx, "policy", name, scale, seed, policies, func(i int) Point {
-		return NewPoint(name, scale, seed, Options{Policy: policies[i]})
-	})
+	return e.ablateExperiment(ctx, "compare_policies", name, scale, seed, "", nil)
 }
 
 // AblateFreeNodeMixing compares mate selection with and without free
@@ -420,14 +353,7 @@ func AblateFreeNodeMixing(name string, scale float64, seed uint64) ([]AblationRo
 // AblateFreeNodeMixing compares mate selection with and without the
 // IncludeFreeNodes option (Section 3.2.4).
 func (e *Engine) AblateFreeNodeMixing(ctx context.Context, name string, scale float64, seed uint64) ([]AblationRow, error) {
-	mixes := []bool{false, true}
-	values := make([]string, len(mixes))
-	for i, mix := range mixes {
-		values[i] = fmt.Sprintf("%v", mix)
-	}
-	return e.ablate(ctx, "free-node-mixing", name, scale, seed, values, func(i int) Point {
-		return NewPoint(name, scale, seed, Options{Policy: "sd", IncludeFreeNodes: mixes[i]})
-	})
+	return e.ablateExperiment(ctx, "ablate_free_node_mixing", name, scale, seed, "", nil)
 }
 
 func ablation(param, value string, res, base *Result) AblationRow {

@@ -1,0 +1,198 @@
+package reducer
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+var testSpecs = []ParamSpec{
+	{Name: "workload", Type: TypeString, Default: "wl1"},
+	{Name: "scale", Type: TypeFloat, Default: 0.1},
+	{Name: "seed", Type: TypeUint, Default: uint64(1)},
+	{Name: "verbose", Type: TypeBool, Default: false},
+	{Name: "workloads", Type: TypeStrings, Default: []string{"wl1", "wl2"}},
+	{Name: "factors", Type: TypeFloats, Default: []float64{0.25, 0.5}},
+	{Name: "mates", Type: TypeInts, Default: []int{1, 2}},
+}
+
+func TestResolveDefaults(t *testing.T) {
+	p, err := Resolve(testSpecs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String("workload"); got != "wl1" {
+		t.Errorf("workload = %q, want wl1", got)
+	}
+	if got := p.Float("scale"); got != 0.1 {
+		t.Errorf("scale = %v, want 0.1", got)
+	}
+	if got := p.Uint("seed"); got != 1 {
+		t.Errorf("seed = %v, want 1", got)
+	}
+	if p.Bool("verbose") {
+		t.Error("verbose = true, want false")
+	}
+	if got := p.Strings("workloads"); len(got) != 2 || got[0] != "wl1" {
+		t.Errorf("workloads = %v", got)
+	}
+	if got := p.Floats("factors"); len(got) != 2 || got[1] != 0.5 {
+		t.Errorf("factors = %v", got)
+	}
+	if got := p.Ints("mates"); len(got) != 2 || got[1] != 2 {
+		t.Errorf("mates = %v", got)
+	}
+}
+
+func TestResolveOverridesAndCoercion(t *testing.T) {
+	p, err := Resolve(testSpecs, Params{
+		"scale": 1,         // int widens to float64
+		"seed":  7,         // int widens to uint64
+		"mates": []int{42}, // exact type passes through
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Float("scale"); got != 1.0 {
+		t.Errorf("scale = %v, want 1", got)
+	}
+	if got := p.Uint("seed"); got != 7 {
+		t.Errorf("seed = %v, want 7", got)
+	}
+	if got := p.Ints("mates"); len(got) != 1 || got[0] != 42 {
+		t.Errorf("mates = %v, want [42]", got)
+	}
+	// float64 with an integral value coerces to uint; a fractional or
+	// negative one does not.
+	if _, err := Resolve(testSpecs, Params{"seed": 3.0}); err != nil {
+		t.Errorf("seed=3.0: %v", err)
+	}
+	if _, err := Resolve(testSpecs, Params{"seed": 3.5}); err == nil {
+		t.Error("seed=3.5 resolved; want error")
+	}
+	if _, err := Resolve(testSpecs, Params{"seed": -1}); err == nil {
+		t.Error("seed=-1 resolved; want error")
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	if _, err := Resolve(testSpecs, Params{"nope": 1}); err == nil || !strings.Contains(err.Error(), "unknown parameter") {
+		t.Errorf("unknown name: err = %v", err)
+	}
+	if _, err := Resolve(testSpecs, Params{"workload": 3}); err == nil || !strings.Contains(err.Error(), `"workload"`) {
+		t.Errorf("mistyped value: err = %v", err)
+	}
+}
+
+func TestResolveJSON(t *testing.T) {
+	raw := map[string]json.RawMessage{
+		"scale":     json.RawMessage(`0.5`),
+		"seed":      json.RawMessage(`9`),
+		"workloads": json.RawMessage(`["wl4"]`),
+		"mates":     json.RawMessage(`[3,4]`),
+	}
+	p, err := ResolveJSON(testSpecs, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Float("scale"); got != 0.5 {
+		t.Errorf("scale = %v", got)
+	}
+	if got := p.Uint("seed"); got != 9 {
+		t.Errorf("seed = %v", got)
+	}
+	if got := p.Strings("workloads"); len(got) != 1 || got[0] != "wl4" {
+		t.Errorf("workloads = %v", got)
+	}
+	if got := p.Ints("mates"); len(got) != 2 || got[0] != 3 {
+		t.Errorf("mates = %v", got)
+	}
+	// Defaults still fill the unmentioned names.
+	if got := p.String("workload"); got != "wl1" {
+		t.Errorf("workload = %q", got)
+	}
+
+	if _, err := ResolveJSON(testSpecs, map[string]json.RawMessage{"scale": json.RawMessage(`"big"`)}); err == nil {
+		t.Error("scale=\"big\" resolved; want error")
+	}
+	if _, err := ResolveJSON(testSpecs, map[string]json.RawMessage{"bogus": json.RawMessage(`1`)}); err == nil {
+		t.Error("unknown name resolved; want error")
+	}
+}
+
+func TestParamsZeroValues(t *testing.T) {
+	var p Params
+	if p.String("x") != "" || p.Float("x") != 0 || p.Uint("x") != 0 || p.Bool("x") {
+		t.Error("missing keys should yield zero values")
+	}
+	if p.Strings("x") != nil || p.Floats("x") != nil || p.Ints("x") != nil {
+		t.Error("missing slice keys should yield nil")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry[int, string]()
+	a := &Descriptor[int, string]{Name: "a"}
+	b := &Descriptor[int, string]{Name: "b"}
+	r.Register(a)
+	r.Register(b)
+	if r.Get("a") != a || r.Get("b") != b {
+		t.Error("Get did not return the registered descriptor")
+	}
+	if r.Get("c") != nil {
+		t.Error("Get of an unregistered name should be nil")
+	}
+	list := r.List()
+	if len(list) != 2 || list[0] != a || list[1] != b {
+		t.Errorf("List = %v, want registration order [a b]", list)
+	}
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("duplicate", func() { r.Register(&Descriptor[int, string]{Name: "a"}) })
+	mustPanic("empty name", func() { r.Register(&Descriptor[int, string]{}) })
+}
+
+func TestDescriptorInstance(t *testing.T) {
+	d := &Descriptor[int, string]{
+		Name:   "echo",
+		Params: []ParamSpec{{Name: "n", Type: TypeUint, Default: uint64(2)}},
+		New: func(p Params) (Instance[int, string], error) {
+			n := int(p.Uint("n"))
+			return &echoInstance{points: make([]int, n), results: make([]string, n)}, nil
+		},
+	}
+	inst, err := d.Instance(Params{"n": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(inst.Points()); got != 3 {
+		t.Fatalf("len(Points) = %d, want 3", got)
+	}
+	if _, err := d.Instance(Params{"bogus": 1}); err == nil {
+		t.Error("bogus parameter accepted; want error")
+	}
+}
+
+type echoInstance struct {
+	points  []int
+	results []string
+	folded  int
+}
+
+func (e *echoInstance) Points() []int { return e.points }
+
+func (e *echoInstance) Fold(index int, result string) ([]any, error) {
+	e.results[index] = result
+	e.folded++
+	return []any{result}, nil
+}
+
+func (e *echoInstance) Summary() (any, error) { return e.results, nil }

@@ -278,8 +278,15 @@ func TestHealthReportsInFlightCampaigns(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	// Enough distinct points that the campaign is reliably observable
+	// in flight: a single small sim can finish between two health polls.
+	var points []string
+	for seed := 1; seed <= 32; seed++ {
+		points = append(points,
+			fmt.Sprintf(`{"workload":"wl1","scale":1.0,"seed":%d,"options":{"policy":"sd"}}`, seed))
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/campaign",
-		strings.NewReader(`{"points":[{"workload":"wl1","scale":0.25,"seed":42,"options":{"policy":"sd"}}]}`))
+		strings.NewReader(`{"points":[`+strings.Join(points, ",")+`]}`))
 	if err != nil {
 		t.Fatal(err)
 	}

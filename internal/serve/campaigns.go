@@ -13,6 +13,7 @@ import (
 
 	"sdpolicy"
 	"sdpolicy/internal/journal"
+	"sdpolicy/internal/reducer"
 )
 
 // Resource-oriented campaigns: POST /v1/campaigns creates a campaign
@@ -101,6 +102,14 @@ type campaignState struct {
 	id      string
 	points  []sdpolicy.Point
 	reports bool
+	// experiment, when non-empty, names the registry experiment this
+	// campaign backs; expParams is its resolved parameter set, used to
+	// build a fresh fold instance per /v1/experiments/{id} attach.
+	experiment string
+	expParams  reducer.Params
+	// begin is when the (most recent) runner started, for the
+	// experiment duration histogram.
+	begin time.Time
 
 	mu        sync.Mutex
 	frames    []frame
@@ -305,7 +314,13 @@ func (s *Server) recoverCampaign(id string) (cs *campaignState, remaining []int,
 	if err != nil {
 		return nil, nil, false, err
 	}
-	var req CreateCampaignRequest
+	var req struct {
+		CreateCampaignRequest
+		// Experiment-backed campaigns journal two extra fields (see
+		// experimentCreateRecord); plain campaigns leave them empty.
+		Experiment string                     `json:"experiment"`
+		Params     map[string]json.RawMessage `json:"params"`
+	}
 	if err := json.Unmarshal(recs[0].Data, &req); err != nil {
 		return nil, nil, false, fmt.Errorf("create record: %w", err)
 	}
@@ -314,6 +329,21 @@ func (s *Server) recoverCampaign(id string) (cs *campaignState, remaining []int,
 		return nil, nil, false, fmt.Errorf("create record: %w", err)
 	}
 	cs = newCampaignState(id, points, req.Reports)
+	if req.Experiment != "" {
+		// Re-resolve the journaled parameters so attaches can rebuild the
+		// fold. A registry drift (renamed experiment, changed parameter)
+		// degrades the resource to a plain campaign rather than losing it.
+		if d := sdpolicy.Experiments().Get(req.Experiment); d == nil {
+			slog.Warn("journal: recovered campaign names unknown experiment; serving as plain campaign",
+				"campaign_id", id, "experiment", req.Experiment)
+		} else if params, err := reducer.ResolveJSON(d.Params, req.Params); err != nil {
+			slog.Warn("journal: recovered experiment parameters no longer resolve; serving as plain campaign",
+				"campaign_id", id, "experiment", req.Experiment, "err", err)
+		} else {
+			cs.experiment = req.Experiment
+			cs.expParams = params
+		}
+	}
 	var done []int
 	for _, rec := range recs[1:] {
 		cs.frames = append(cs.frames, frame{seq: rec.Seq, event: rec.Kind, data: rec.Data})
@@ -361,7 +391,7 @@ func (s *Server) recoverCampaign(id string) (cs *campaignState, remaining []int,
 // resource and starts it detached from the request.
 func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST to create a campaign"))
+		writeMethodNotAllowed(w, http.MethodPost, "", errors.New("use POST to create a campaign"))
 		return
 	}
 	if !s.active.Load() {
@@ -388,30 +418,41 @@ func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("campaign %s already exists; attach with GET /v1/campaigns/%s", id, id))
 		return
 	}
-	if s.journal != nil {
-		// Write-ahead: the create record (the campaign's full point
-		// list) lands before any work is dispatched, so a crash at any
-		// later instant leaves a resumable journal.
-		create, err := json.Marshal(req)
-		if err == nil {
-			cs.w, err = s.journal.Create(id, create)
-		}
-		if err != nil {
-			s.resources.remove(id)
-			status := http.StatusInternalServerError
-			if errors.Is(err, journal.ErrExists) {
-				status = http.StatusConflict
-			}
-			writeCampaignError(w, status, id, err)
-			return
-		}
-		mJournalRecords.Inc()
+	if !s.journalCreate(w, cs, req) {
+		return
 	}
 	mCampaignsCreated.Inc()
 	s.startCampaign(cs, nil)
 	w.Header().Set("X-Campaign-ID", id)
 	w.Header().Set("Location", "/v1/campaigns/"+id)
 	writeJSON(w, http.StatusCreated, CreateCampaignResponse{ID: id})
+}
+
+// journalCreate write-ahead journals the create record for a freshly
+// registered campaign: the record (the campaign's full point list, plus
+// the experiment binding when there is one) lands before any work is
+// dispatched, so a crash at any later instant leaves a resumable
+// journal. On failure it unregisters the campaign, replies with the
+// envelope, and returns false. A no-op without EnableJournal.
+func (s *Server) journalCreate(w http.ResponseWriter, cs *campaignState, record any) bool {
+	if s.journal == nil {
+		return true
+	}
+	create, err := json.Marshal(record)
+	if err == nil {
+		cs.w, err = s.journal.Create(cs.id, create)
+	}
+	if err != nil {
+		s.resources.remove(cs.id)
+		status := http.StatusInternalServerError
+		if errors.Is(err, journal.ErrExists) {
+			status = http.StatusConflict
+		}
+		writeCampaignError(w, status, cs.id, err)
+		return false
+	}
+	mJournalRecords.Inc()
+	return true
 }
 
 // errStandby is the transient refusal while the lease is not held.
@@ -441,7 +482,7 @@ func (s *Server) handleCampaignByID(w http.ResponseWriter, r *http.Request) {
 	case http.MethodDelete:
 		s.handleCampaignCancel(w, r, id)
 	default:
-		writeCampaignError(w, http.StatusMethodNotAllowed, id,
+		writeMethodNotAllowed(w, "GET, DELETE", id,
 			errors.New("use GET to attach or DELETE to cancel"))
 	}
 }
@@ -450,7 +491,7 @@ func (s *Server) handleCampaignByID(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if r.Method != http.MethodGet {
-		writeCampaignError(w, http.StatusMethodNotAllowed, id, errors.New("use GET"))
+		writeMethodNotAllowed(w, http.MethodGet, id, errors.New("use GET"))
 		return
 	}
 	cs := s.lookupCampaign(w, id)
@@ -579,6 +620,7 @@ func (s *Server) startCampaign(cs *campaignState, remaining []int) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cs.mu.Lock()
 	cs.cancel = cancel
+	cs.begin = time.Now()
 	cs.mu.Unlock()
 	go s.runCampaign(ctx, cancel, cs, remaining)
 }
@@ -687,6 +729,7 @@ func (s *Server) finishCampaign(cs *campaignState, err error) {
 				Points int    `json:"points"`
 			}{seq, true, len(cs.points)}
 		})
+		observeExperiment(cs, campaignDone)
 	case cancelled:
 		s.appendTerminal(cs, journal.KindCancelled, campaignCancelled, func(seq uint64) any {
 			return struct {
@@ -694,6 +737,7 @@ func (s *Server) finishCampaign(cs *campaignState, err error) {
 				Cancelled bool   `json:"cancelled"`
 			}{seq, true}
 		})
+		observeExperiment(cs, campaignCancelled)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		select {
 		case <-s.shutdown:
@@ -707,6 +751,21 @@ func (s *Server) finishCampaign(cs *campaignState, err error) {
 		}
 	default:
 		s.appendErrorTerminal(cs, err)
+	}
+}
+
+// observeExperiment records the terminal outcome of an experiment-backed
+// campaign; a no-op for plain campaigns.
+func observeExperiment(cs *campaignState, outcome string) {
+	if cs.experiment == "" {
+		return
+	}
+	mExperimentsCompleted.With(cs.experiment, outcome).Inc()
+	cs.mu.Lock()
+	begin := cs.begin
+	cs.mu.Unlock()
+	if !begin.IsZero() {
+		mExperimentSeconds.With(cs.experiment).Observe(time.Since(begin).Seconds())
 	}
 }
 
@@ -724,6 +783,7 @@ func (s *Server) appendErrorTerminal(cs *campaignState, err error) {
 	cs.mu.Lock()
 	cs.errMsg = err.Error()
 	cs.mu.Unlock()
+	observeExperiment(cs, campaignFailed)
 }
 
 // appendResult journals and buffers one result frame. The frame embeds

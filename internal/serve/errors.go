@@ -41,6 +41,8 @@ func errorCode(status int) string {
 		return "not_found"
 	case http.StatusMethodNotAllowed:
 		return "method_not_allowed"
+	case http.StatusUnsupportedMediaType:
+		return "unsupported_media_type"
 	case http.StatusConflict:
 		return "conflict"
 	case http.StatusRequestEntityTooLarge:
@@ -68,4 +70,11 @@ func writeCampaignError(w http.ResponseWriter, status int, campaignID string, er
 		Message:    err.Error(),
 		CampaignID: campaignID,
 	}})
+}
+
+// writeMethodNotAllowed replies 405 with the envelope and the Allow
+// header RFC 9110 requires (a comma-separated method list).
+func writeMethodNotAllowed(w http.ResponseWriter, allow, campaignID string, err error) {
+	w.Header().Set("Allow", allow)
+	writeCampaignError(w, http.StatusMethodNotAllowed, campaignID, err)
 }

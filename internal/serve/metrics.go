@@ -46,6 +46,17 @@ var (
 	mLeaseHeld = telemetry.NewGauge("coordinator_lease_held",
 		"1 while this instance holds the coordinator lease (active), 0 on standby.")
 
+	mExperimentsStarted = telemetry.NewCounterVec("experiments_started_total",
+		"Experiment resources created via POST /v1/experiments, by experiment name.", "experiment")
+	mExperimentsCompleted = telemetry.NewCounterVec("experiments_completed_total",
+		"Experiment-backed campaigns that reached a terminal state, by experiment and outcome.",
+		"experiment", "outcome")
+	mExperimentAttaches = telemetry.NewCounter("experiment_attaches_total",
+		"Stream attaches to experiment resources (GET /v1/experiments/{id}), including reattaches.")
+	mExperimentSeconds = telemetry.NewHistogramVec("experiment_seconds",
+		"Wall time from experiment campaign start to its terminal frame, by experiment.",
+		telemetry.DefBuckets, "experiment")
+
 	mHTTPRequests = telemetry.NewCounterVec("http_requests_total",
 		"API requests served, by route and status code.", "route", "code")
 	mHTTPSeconds = telemetry.NewHistogramVec("http_request_seconds",

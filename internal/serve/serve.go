@@ -6,7 +6,18 @@
 // Endpoints:
 //
 //	POST /v1/simulate  one simulation point  -> the full Result
-//	POST /v1/sweep     Figures 1-3 campaign  -> normalised SweepRows
+//	POST /v1/sweep     deprecated alias of the sweep_maxsd experiment:
+//	                   Figures 1-3 campaign -> normalised SweepRows,
+//	                   byte-compatible, with Deprecation + Link headers
+//	GET  /v1/experiments          list the experiment registry with
+//	                              parameter descriptions
+//	POST /v1/experiments          create an experiment resource (body
+//	                              names the experiment + params) -> 201 +
+//	                              Location; backed by a journaled campaign
+//	GET  /v1/experiments/{id}     attach to the experiment's reduced
+//	                              stream: incremental rows + terminal
+//	                              summary (SSE or NDJSON, ?from= cursor)
+//	DELETE /v1/experiments/{id}   cancel the experiment's campaign
 //	POST /v1/campaigns            create a campaign resource -> 201 +
 //	                              Location; runs detached from any client
 //	GET  /v1/campaigns/{id}       attach to (or resume, ?from=<seq>) the
@@ -47,6 +58,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -161,6 +173,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/simulate", instrument("/v1/simulate", s.handleSimulate))
 	mux.HandleFunc("/v1/sweep", instrument("/v1/sweep", s.handleSweep))
 	mux.HandleFunc("/v1/campaign", instrument("/v1/campaign", s.handleCampaign))
+	mux.HandleFunc("/v1/experiments", instrument("/v1/experiments", s.handleExperiments))
+	mux.HandleFunc("/v1/experiments/{id}", instrument("/v1/experiments/{id}", s.handleExperimentByID))
 	mux.HandleFunc("/v1/campaigns", instrument("/v1/campaigns", s.handleCampaigns))
 	mux.HandleFunc("/v1/campaigns/{id}", instrument("/v1/campaigns/{id}", s.handleCampaignByID))
 	mux.HandleFunc("/v1/campaigns/{id}/status", instrument("/v1/campaigns/{id}/status", s.handleCampaignStatus))
@@ -257,6 +271,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	// Frozen as a byte-compatible alias of the sweep_maxsd experiment;
+	// new clients should create the experiment resource instead.
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1/experiments>; rel="successor-version"`)
 	var req SweepRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -280,7 +298,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		writeMethodNotAllowed(w, http.MethodGet, "", errors.New("use GET"))
 		return
 	}
 	hits, misses := s.engine.CacheStats()
@@ -310,11 +328,21 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h)
 }
 
-// decode enforces POST + JSON and fills dst, replying on failure.
+// decode enforces POST + JSON and fills dst, replying on failure. A
+// missing Content-Type is tolerated (historical clients omit it); a
+// present one must name JSON.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		writeMethodNotAllowed(w, http.MethodPost, "", errors.New("use POST"))
 		return false
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || mt != "application/json" {
+			writeError(w, http.StatusUnsupportedMediaType,
+				fmt.Errorf("unsupported Content-Type %q: want application/json", ct))
+			return false
+		}
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
