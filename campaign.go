@@ -80,11 +80,18 @@ func (p Point) MarshalJSON() ([]byte, error) {
 // UnmarshalJSON is MarshalJSON's inverse: an absent (or null)
 // malleable_fraction decodes to the -1 keep-mix sentinel rather than
 // to 0, which would silently mean "re-flag zero jobs malleable".
-// Scale and Seed are taken verbatim, without PointSpec's defaulting.
+// Scale and Seed are taken verbatim, without PointSpec's defaulting —
+// except through a workload_ref, whose materialisation is defined to
+// include it.
 func (p *Point) UnmarshalJSON(data []byte) error {
 	var s PointSpec
 	if err := json.Unmarshal(data, &s); err != nil {
 		return err
+	}
+	if s.Ref != nil {
+		full := s.Ref.PointSpec(s.Options).Point()
+		*p = full
+		return nil
 	}
 	p.Workload, p.Scale, p.Seed, p.Options = s.Workload, s.Scale, s.Seed, s.Options
 	p.MalleableFraction = -1
@@ -150,6 +157,12 @@ func (p Point) canonical() Point {
 		p.Derivations = chain
 		p.MalleableFraction = -1
 	}
+	if workload.IsTraceRef(p.Workload) {
+		// Trace content is fully determined by the digest; folding the
+		// inert generation parameters means differently-spelled trace
+		// points share one cache entry.
+		p.Scale, p.Seed = 1, 1
+	}
 	p.Options = p.Options.canonical()
 	return p
 }
@@ -196,22 +209,36 @@ func (o Options) canonical() Options {
 // is how the labelled ablation sweeps — including the heterogeneous
 // node-feature ones — are expressed as plain points over HTTP.
 type PointSpec struct {
-	Workload          string       `json:"workload"`
+	Workload          string       `json:"workload,omitempty"`
 	Scale             float64      `json:"scale,omitempty"`
 	Seed              uint64       `json:"seed,omitempty"`
 	MalleableFraction *float64     `json:"malleable_fraction,omitempty"`
 	Derivations       []Derivation `json:"derivations,omitempty"`
-	Options           Options      `json:"options"`
+	// Ref is the unified workload address ({name|trace, scale, seed,
+	// derivations}); when present it replaces the loose fields above,
+	// which must stay empty. Points always echo the loose form, so
+	// streamed output is byte-stable regardless of which spelling the
+	// request used.
+	Ref     *WorkloadRef `json:"workload_ref,omitempty"`
+	Options Options      `json:"options"`
 }
 
 // Validate rejects spec fields the wire layers must refuse before
 // Point() collapses them into the Point sentinel encodings: a missing
 // workload, an out-of-range MalleableFraction (a negative value would
-// otherwise silently mean "keep the generated mix"), and structurally
-// invalid derivations. Errors are tagged ErrBadInput. Everything else —
+// otherwise silently mean "keep the generated mix"), structurally
+// invalid derivations, and a workload_ref mixed with the loose legacy
+// fields it replaces. Errors are tagged ErrBadInput. Everything else —
 // unknown workload, bad policy, NaN floats — is rejected later by
 // Engine.Run.
 func (s PointSpec) Validate() error {
+	if s.Ref != nil {
+		if s.Workload != "" || s.Scale != 0 || s.Seed != 0 ||
+			s.MalleableFraction != nil || len(s.Derivations) != 0 {
+			return fmt.Errorf("sdpolicy: workload_ref cannot be combined with the legacy workload/scale/seed/malleable_fraction/derivations fields: %w", ErrBadInput)
+		}
+		return s.Ref.Validate()
+	}
 	if s.Workload == "" {
 		return fmt.Errorf("sdpolicy: point workload missing: %w", ErrBadInput)
 	}
@@ -230,6 +257,9 @@ func (s PointSpec) Validate() error {
 // validation — call Validate first for the wire-level checks; Engine.Run
 // rejects the remaining bad fields with ErrBadInput.
 func (s PointSpec) Point() Point {
+	if s.Ref != nil {
+		s = s.Ref.PointSpec(s.Options)
+	}
 	scale, seed := s.Scale, s.Seed
 	if scale == 0 {
 		scale = 1

@@ -33,6 +33,13 @@
 // complete. -progress adds point-level progress on stderr; Ctrl-C
 // aborts the campaign mid-simulation.
 //
+// -trace file1.swf,file2.swf registers SWF traces before the run; each
+// compiles to an immutable workload addressable as trace:<digest>
+// anywhere a generator name is accepted (points files, workload_ref,
+// the real_trace experiment's trace parameter). The digest is printed
+// on stderr at registration. For -server runs the remote deployment
+// must hold the same traces (sdserve -trace-dir).
+//
 // -cache-dir dir persists the campaign result cache across runs: the
 // engine loads dir/campaign-cache.json on start and spills its memoised
 // results back on exit (even after an error or Ctrl-C), so repeating a
@@ -111,6 +118,7 @@ func main() {
 		shard      = flag.String("shard", "", "with -points: run only shard i/n (1-based, e.g. 2/3) of the campaign; lines keep their original indices")
 		mergeCache = flag.String("merge-cache", "", "comma-separated cache dirs (or spill files) merged into the engine cache before running; with -cache-dir the merged cache is spilled back")
 		server     = flag.String("server", "", "with -points: comma-separated base URLs of an sdserve deployment (coordinator plus failover standbys) that runs the campaign instead of this process; the stream resumes across disconnects and failovers")
+		trace      = flag.String("trace", "", "comma-separated SWF trace files to register before the run; each becomes addressable as trace:<digest> in points files and -experiment parameters")
 		debugAddr  = flag.String("debug-addr", "", "optional listen address for net/http/pprof and /metrics (e.g. localhost:6060); off when empty")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go test convention; -debug-addr serves the same data live)")
 		memprofile = flag.String("memprofile", "", "write an allocs/heap profile to this file on exit, after a final GC (go test convention)")
@@ -123,6 +131,18 @@ func main() {
 	if *server != "" && *points == "" && *experiment == "" {
 		fmt.Fprintln(os.Stderr, "sdexp: -server requires -points or -experiment")
 		os.Exit(1)
+	}
+	for _, p := range strings.Split(*trace, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		info, err := sdpolicy.RegisterTraceFile(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdexp:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sdexp: registered trace %s as %s (%d jobs, %d nodes, %d cores)\n",
+			p, info.Ref, info.Jobs, info.Nodes, info.Cores)
 	}
 	stopProfiles, perr := startProfiles(*cpuprofile, *memprofile)
 	if perr != nil {

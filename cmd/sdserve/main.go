@@ -17,6 +17,10 @@
 //	                   stream (SSE or NDJSON), resumable from any seq
 //	GET  /v1/campaigns/{id}/status      compact progress
 //	DELETE /v1/campaigns/{id}           cancel
+//	GET  /v1/workloads    list addressable workloads: generator presets
+//	                   plus every trace registered via -trace-dir, with
+//	                   the derivation-op schema
+//	GET  /v1/workloads/{ref}  one workload's resolved metadata
 //	GET  /v1/experiments  list the experiment registry (names, params)
 //	POST /v1/experiments  {"experiment":"table1","params":{...}} —
 //	                   creates a journaled campaign that streams the
@@ -114,12 +118,24 @@ func main() {
 		journalDir  = flag.String("journal-dir", "", "write-ahead journal directory for /v1/campaigns resources; enables crash/failover recovery and the coordinator lease (share it between the active coordinator and its standbys)")
 		journalTTL  = flag.Duration("journal-lease", 15*time.Second, "coordinator lease TTL inside -journal-dir; a standby adopts the journal after the lease goes this long without a refresh")
 		standby     = flag.Bool("standby", false, "start as a failover standby: serve requests but keep the campaign plane inactive until the -journal-dir coordinator lease is acquired (requires -journal-dir)")
+		traceDir    = flag.String("trace-dir", "", "register every *.swf file in this directory at startup; each becomes addressable as trace:<digest> on the workload endpoints")
 		debugAddr   = flag.String("debug-addr", "", "optional listen address for net/http/pprof and /metrics (e.g. localhost:6060); off when empty")
 	)
 	flag.Parse()
 	if *standby && *journalDir == "" {
 		fmt.Fprintln(os.Stderr, "sdserve: -standby requires -journal-dir (the lease and journal to adopt live there)")
 		os.Exit(1)
+	}
+	if *traceDir != "" {
+		infos, err := sdpolicy.RegisterTraceDir(*traceDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdserve:", err)
+			os.Exit(1)
+		}
+		for _, info := range infos {
+			fmt.Fprintf(os.Stderr, "sdserve: registered trace %s as %s (%d jobs, %d nodes, %d cores)\n",
+				info.Source, info.Ref, info.Jobs, info.Nodes, info.Cores)
+		}
 	}
 
 	engine := sdpolicy.NewEngine(*workers, *cache)

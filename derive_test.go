@@ -34,27 +34,30 @@ func resultsEquivalent(t *testing.T, label string, a, b *Result) {
 	}
 }
 
-// TestDeriveEquivalentToInPlaceMutation: for all five workloads, the
-// old mutate-in-place pipeline (generate privately, re-flag the spec)
-// and the new derivation pipeline (shared cached base + copy-on-write
-// chain) must produce byte-identical Results.
-func TestDeriveEquivalentToInPlaceMutation(t *testing.T) {
+// TestDeriveEquivalentToPrivateSpec: for all five workloads, deriving
+// from a privately generated spec and from the shared cached base must
+// produce byte-identical Results — the cache and the chain change
+// where work happens, never what is simulated.
+func TestDeriveEquivalentToPrivateSpec(t *testing.T) {
 	scales := map[string]float64{"wl1": 0.05, "wl2": 0.05, "wl3": 0.05, "wl4": 0.02, "wl5": 0.2}
 	opt := Options{Policy: "sd", MaxSlowdown: 10}
 	for _, name := range workload.Names() {
 		scale := scales[name]
-		// Old pipeline: a private spec, mutated in place via the
-		// deprecated shim, simulated directly.
+		// Private pipeline: generate a spec this test owns, derive, and
+		// simulate directly.
 		spec, err := workload.ByName(name, scale, 11)
 		if err != nil {
 			t.Fatal(err)
 		}
-		workload.SetMalleableFraction(&spec, 0.5)
-		old, err := Simulate(Workload{spec: &spec}, opt)
+		mixed, err := workload.Derive(&spec, []workload.Derivation{workload.MalleableFraction(0.5)})
 		if err != nil {
 			t.Fatal(err)
 		}
-		// New pipeline: shared cached base + derivation chain.
+		old, err := Simulate(Workload{spec: mixed}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shared pipeline: cached base + derivation chain on the handle.
 		w, err := NewWorkload(name, scale, 11)
 		if err != nil {
 			t.Fatal(err)

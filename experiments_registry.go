@@ -139,6 +139,28 @@ func newExperimentRegistry() *reducer.Registry[Point, *Result] {
 		},
 	})
 	r.Register(&ExperimentDescriptor{
+		Name:        "real_trace",
+		Title:       "Real-trace replay: static vs SD on a registered SWF trace scenario",
+		Description: "replays a registered trace (see -trace / -trace-dir) under scenario derivations: arrival-rate scaling, malleable share, optional QoS striping",
+		Params: []reducer.ParamSpec{
+			{Name: "trace", Type: reducer.TypeString, Default: "",
+				Description: "registered trace ref (trace:<digest>, prefix optional)"},
+			{Name: "load_factor", Type: reducer.TypeFloat, Default: 1.5,
+				Description: "arrival compression ratio (scale_load); 1 replays the recorded load"},
+			{Name: "malleable_fraction", Type: reducer.TypeFloat, Default: 0.3,
+				Description: "fraction of jobs re-flagged malleable"},
+			{Name: "qos_class", Type: reducer.TypeString, Default: "",
+				Description: "queue/QoS class striped onto jobs (assign_qos); empty disables"},
+			{Name: "qos_fraction", Type: reducer.TypeFloat, Default: 0.5,
+				Description: "fraction of jobs tagged with qos_class"},
+			{Name: "max_slowdown", Type: reducer.TypeFloat, Default: 10.0,
+				Description: "SD variant's MAX_SLOWDOWN cut-off"},
+		},
+		New: func(p reducer.Params) (ExperimentInstance, error) {
+			return realTraceInstance(p)
+		},
+	})
+	r.Register(&ExperimentDescriptor{
 		Name:  "ablate_sharing_factor",
 		Title: "Ablation: SharingFactor sweep",
 		Params: []reducer.ParamSpec{workloadParam(), scaleParam(), seedParam(),
@@ -489,6 +511,44 @@ func realRunInstance(scale float64, seed uint64) *expInstance {
 		}, nil
 	}
 	return x
+}
+
+// realTraceInstance replays one registered trace scenario — the
+// "yesterday's cluster at 1.5x load with 30% malleable jobs" campaign
+// — as a static-vs-SD pair of derived points over the trace ref.
+func realTraceInstance(p reducer.Params) (*expInstance, error) {
+	trace := p.String("trace")
+	if trace == "" {
+		return nil, fmt.Errorf("parameter \"trace\" is required")
+	}
+	ref := WorkloadRef{Trace: trace}
+	name := ref.WorkloadName()
+	derivs := []Derivation{MalleableFractionDerivation(p.Float("malleable_fraction"))}
+	if f := p.Float("load_factor"); f != 1 {
+		derivs = append([]Derivation{ScaleLoadDerivation(f)}, derivs...)
+	}
+	if class := p.String("qos_class"); class != "" {
+		derivs = append(derivs, AssignQoSDerivation(class, p.Float("qos_fraction")))
+	}
+	x := &expInstance{
+		points: []Point{
+			NewDerivedPoint(name, 1, 1, Options{Policy: "static"}, derivs...),
+			NewDerivedPoint(name, 1, 1, Options{Policy: "sd", MaxSlowdown: p.Float("max_slowdown")}, derivs...),
+		},
+		results: make([]*Result, 2),
+	}
+	x.summary = func() (any, error) {
+		static, sd := x.results[0], x.results[1]
+		return &RealRunReport{
+			Static:         static,
+			SD:             sd,
+			MakespanPct:    improvement(float64(static.Makespan), float64(sd.Makespan)),
+			AvgResponsePct: improvement(static.AvgResponse, sd.AvgResponse),
+			AvgSlowdownPct: improvement(static.AvgSlowdown, sd.AvgSlowdown),
+			EnergyPct:      improvement(static.EnergyKWh, sd.EnergyKWh),
+		}, nil
+	}
+	return x, nil
 }
 
 // ablateInstance folds one design-choice sweep: points[0] is the

@@ -490,9 +490,12 @@ func TestAllPoliciesCompleteGeneratedWorkloads(t *testing.T) {
 }
 
 func TestMixedKindWorkloadCompletes(t *testing.T) {
-	spec := workload.WL5(0.15, 7)
-	workload.SetMalleableFraction(&spec, 0.5)
-	res := runOrFail(t, spec, sdConfig())
+	base := workload.WL5(0.15, 7)
+	mixed, err := workload.Derive(&base, []workload.Derivation{workload.MalleableFraction(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runOrFail(t, *mixed, sdConfig())
 	if res.MalleableStarts == 0 {
 		t.Log("note: no malleable starts in mixed workload (load dependent)")
 	}

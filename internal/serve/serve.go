@@ -175,6 +175,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/campaign", instrument("/v1/campaign", s.handleCampaign))
 	mux.HandleFunc("/v1/experiments", instrument("/v1/experiments", s.handleExperiments))
 	mux.HandleFunc("/v1/experiments/{id}", instrument("/v1/experiments/{id}", s.handleExperimentByID))
+	mux.HandleFunc("/v1/workloads", instrument("/v1/workloads", s.handleWorkloads))
+	mux.HandleFunc("/v1/workloads/{ref}", instrument("/v1/workloads/{ref}", s.handleWorkloadByRef))
 	mux.HandleFunc("/v1/campaigns", instrument("/v1/campaigns", s.handleCampaigns))
 	mux.HandleFunc("/v1/campaigns/{id}", instrument("/v1/campaigns/{id}", s.handleCampaignByID))
 	mux.HandleFunc("/v1/campaigns/{id}/status", instrument("/v1/campaigns/{id}/status", s.handleCampaignStatus))
@@ -202,11 +204,47 @@ func (s *Server) BeginShutdown() {
 type SimulateRequest = sdpolicy.PointSpec
 
 // SweepRequest is the /v1/sweep body: the Figures 1-3 campaign over the
-// given workloads. Scale and Seed default to 1.
+// given workloads. Scale and Seed default to 1. WorkloadRefs is the
+// unified addressing shape: each ref contributes its workload name,
+// and a ref-level scale/seed is adopted when the request level leaves
+// it defaulted (the sweep is a single campaign, so refs cannot
+// disagree about either). Sweep refs take no derivations.
 type SweepRequest struct {
-	Workloads []string `json:"workloads"`
-	Scale     float64  `json:"scale"`
-	Seed      uint64   `json:"seed"`
+	Workloads    []string               `json:"workloads,omitempty"`
+	WorkloadRefs []sdpolicy.WorkloadRef `json:"workload_refs,omitempty"`
+	Scale        float64                `json:"scale"`
+	Seed         uint64                 `json:"seed"`
+}
+
+// resolveSweepWorkloads folds WorkloadRefs into the legacy
+// workloads/scale/seed triple, erroring on shapes the single-campaign
+// sweep cannot express.
+func (req *SweepRequest) resolveSweepWorkloads() error {
+	for i, ref := range req.WorkloadRefs {
+		if err := ref.Validate(); err != nil {
+			return fmt.Errorf("workload_refs[%d]: %w", i, err)
+		}
+		if len(ref.Derivations) != 0 {
+			return fmt.Errorf("workload_refs[%d]: the sweep takes no derivations: %w", i, sdpolicy.ErrBadInput)
+		}
+		if ref.Scale != 0 {
+			if req.Scale != 0 && req.Scale != ref.Scale {
+				return fmt.Errorf("workload_refs[%d]: scale %v conflicts with the sweep scale %v: %w",
+					i, ref.Scale, req.Scale, sdpolicy.ErrBadInput)
+			}
+			req.Scale = ref.Scale
+		}
+		if ref.Seed != 0 {
+			if req.Seed != 0 && req.Seed != ref.Seed {
+				return fmt.Errorf("workload_refs[%d]: seed %d conflicts with the sweep seed %d: %w",
+					i, ref.Seed, req.Seed, sdpolicy.ErrBadInput)
+			}
+			req.Seed = ref.Seed
+		}
+		req.Workloads = append(req.Workloads, ref.WorkloadName())
+	}
+	req.WorkloadRefs = nil
+	return nil
 }
 
 // SweepResponse is the /v1/sweep reply.
@@ -258,6 +296,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	markLegacyWorkloadShape(w, req)
 	if !s.acquire(w, r.Context()) {
 		return
 	}
@@ -277,6 +316,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Link", `</v1/experiments>; rel="successor-version"`)
 	var req SweepRequest
 	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := req.resolveSweepWorkloads(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	if len(req.Workloads) == 0 {

@@ -41,9 +41,34 @@ type Record struct {
 
 const numFields = 18
 
+// Header carries the machine-geometry comment fields of an SWF log.
+// Zero values mean the trace did not declare the field; the archive
+// convention is "; MaxNodes: 1152"-style lines, and sdgen additionally
+// emits "Nodes:"/"CoresPerNode:" which parse to the same place.
+type Header struct {
+	// MaxNodes is the machine's node count (archive "MaxNodes", sdgen
+	// "Nodes").
+	MaxNodes int
+	// MaxProcs is the machine's processor count ("MaxProcs").
+	MaxProcs int
+	// CoresPerNode is sdgen's explicit geometry; archive traces leave it
+	// 0 and readers derive MaxProcs/MaxNodes instead.
+	CoresPerNode int
+}
+
 // Parse reads all records from r, skipping comments and blank lines.
 func Parse(r io.Reader) ([]Record, error) {
+	recs, _, err := ParseWithHeader(r)
+	return recs, err
+}
+
+// ParseWithHeader is Parse, additionally extracting the machine
+// geometry declared in "; Key: value" header comments. Unknown header
+// keys and malformed values are ignored — headers are advisory in the
+// archive, never an error.
+func ParseWithHeader(r io.Reader) ([]Record, Header, error) {
 	var out []Record
+	var hdr Header
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	lineNo := 0
@@ -51,17 +76,18 @@ func Parse(r io.Reader) ([]Record, error) {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, ";") {
+			parseHeaderLine(line, &hdr)
 			continue
 		}
 		fields := strings.Fields(line)
 		if len(fields) != numFields {
-			return nil, fmt.Errorf("swf: line %d: %d fields, want %d", lineNo, len(fields), numFields)
+			return nil, Header{}, fmt.Errorf("swf: line %d: %d fields, want %d", lineNo, len(fields), numFields)
 		}
 		var vals [numFields]int64
 		for i, f := range fields {
 			v, err := strconv.ParseInt(f, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("swf: line %d field %d: %v", lineNo, i+1, err)
+				return nil, Header{}, fmt.Errorf("swf: line %d field %d: %v", lineNo, i+1, err)
 			}
 			vals[i] = v
 		}
@@ -75,9 +101,46 @@ func Parse(r io.Reader) ([]Record, error) {
 		})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("swf: %v", err)
+		return nil, Header{}, fmt.Errorf("swf: %v", err)
 	}
-	return out, nil
+	return out, hdr, nil
+}
+
+// parseHeaderLine extracts a recognised geometry key from one ";"
+// comment line into hdr.
+func parseHeaderLine(line string, hdr *Header) {
+	body := strings.TrimSpace(strings.TrimLeft(line, "; "))
+	key, val, ok := strings.Cut(body, ":")
+	if !ok {
+		return
+	}
+	// Archive headers put free text after the number ("; MaxNodes: 1152
+	// nodes"); take the first field only.
+	f := strings.Fields(strings.TrimSpace(val))
+	if len(f) == 0 {
+		return
+	}
+	n, err := strconv.Atoi(f[0])
+	if err != nil || n <= 0 {
+		return
+	}
+	// First value wins: "MaxNodes" (the archive key) and "Nodes" (the
+	// sdgen key) alias the same field, and a later duplicate or alias
+	// must not override an earlier explicit value.
+	switch strings.TrimSpace(key) {
+	case "MaxNodes", "Nodes":
+		if hdr.MaxNodes == 0 {
+			hdr.MaxNodes = n
+		}
+	case "MaxProcs":
+		if hdr.MaxProcs == 0 {
+			hdr.MaxProcs = n
+		}
+	case "CoresPerNode":
+		if hdr.CoresPerNode == 0 {
+			hdr.CoresPerNode = n
+		}
+	}
 }
 
 // Write emits records in SWF order with a minimal header.

@@ -59,7 +59,19 @@ var Shared = NewCache(16)
 // Get returns the generated Spec for the preset, serving repeats from
 // the cache and coalescing concurrent generations of the same key. The
 // returned Spec is shared: callers must not mutate it (use Derive).
+// Trace refs ("trace:<digest>") resolve through the process-wide trace
+// registry instead of a generator: the Spec was compiled once at
+// registration, so every lookup is a hit and scale/seed are ignored
+// (trace content is fully determined by the digest).
 func (c *Cache) Get(name string, scale float64, seed uint64) (*Spec, error) {
+	if IsTraceRef(name) {
+		s, err := Traces.Get(TraceDigest(name))
+		if err != nil {
+			return nil, err
+		}
+		c.hits.Add(1)
+		return s, nil
+	}
 	k := Key{Name: name, Scale: scale, Seed: seed}
 	if s, ok := c.lru.Get(k); ok {
 		c.hits.Add(1)

@@ -27,15 +27,44 @@ const (
 	// deterministically) require Feature on every allocated node — the
 	// constraint-filtering behaviour of Section 3.2.4.
 	OpRequireFeature = "require_feature"
+	// OpScaleLoad compresses (Factor > 1) or stretches (Factor < 1) the
+	// arrival process: every submit time is divided by Factor, so a
+	// trace replayed with Factor 1.5 offers 1.5x its recorded load —
+	// the controlled-perturbation replay of the real-trace studies.
+	OpScaleLoad = "scale_load"
+	// OpShiftArrivals remaps the diurnal pattern: each submit's
+	// time-of-day rotates forward by Shift seconds (mod 24h, the day
+	// index is kept), and a positive Burst additionally quantises
+	// submits onto Burst-second boundaries, injecting synchronous
+	// arrival bursts. The stream is re-sorted afterwards.
+	OpShiftArrivals = "shift_arrivals"
+	// OpAssignQoS tags Fraction of the jobs (striped deterministically)
+	// with the Class queue name; queues map to per-queue MAXSD QoS
+	// cut-offs (paper §4.1) via Options.
+	OpAssignQoS = "assign_qos"
 )
 
 // Derivation is one variant operation. The zero value is invalid; build
-// derivations with MalleableFraction, TagNodes and RequireFeature, or
-// decode them from their JSON wire form.
+// derivations with the constructors (MalleableFraction, TagNodes,
+// RequireFeature, ScaleLoad, ShiftArrivals, AssignQoS) or decode them
+// from their JSON wire form. Fields unused by an op must hold their
+// zero value — Validate enforces it, which is what keeps the canonical
+// chain encoding of a given operation unique. (Fraction deliberately
+// lacks omitempty: dropping the zero would re-encode every existing
+// chain and orphan their cache entries.)
 type Derivation struct {
 	Op       string  `json:"op"`
 	Fraction float64 `json:"fraction"`
 	Feature  string  `json:"feature,omitempty"`
+	// Factor is scale_load's arrival compression ratio (> 0).
+	Factor float64 `json:"factor,omitempty"`
+	// Shift is shift_arrivals' time-of-day rotation in seconds,
+	// |Shift| < 86400.
+	Shift int64 `json:"shift,omitempty"`
+	// Burst is shift_arrivals' arrival quantum in seconds (0 = none).
+	Burst int64 `json:"burst,omitempty"`
+	// Class is assign_qos's queue/QoS class name.
+	Class string `json:"class,omitempty"`
 }
 
 // MalleableFraction returns the derivation re-flagging frac of the jobs
@@ -56,26 +85,118 @@ func RequireFeature(feature string, frac float64) Derivation {
 	return Derivation{Op: OpRequireFeature, Fraction: frac, Feature: feature}
 }
 
-// Validate reports the first structural problem: an unknown op, a
-// fraction outside [0,1] (including NaN), or a missing/forbidden
-// feature string for the op.
+// ScaleLoad returns the derivation compressing (factor > 1) or
+// stretching (factor < 1) the arrival process by dividing every submit
+// time by factor.
+func ScaleLoad(factor float64) Derivation {
+	return Derivation{Op: OpScaleLoad, Factor: factor}
+}
+
+// ShiftArrivals returns the derivation rotating each submit's
+// time-of-day forward by shift seconds and, when burst > 0, quantising
+// submits onto burst-second boundaries.
+func ShiftArrivals(shift, burst int64) Derivation {
+	return Derivation{Op: OpShiftArrivals, Shift: shift, Burst: burst}
+}
+
+// AssignQoS returns the derivation tagging frac of the jobs with the
+// class queue name.
+func AssignQoS(class string, frac float64) Derivation {
+	return Derivation{Op: OpAssignQoS, Fraction: frac, Class: class}
+}
+
+// Validate reports the first structural problem: an unknown op, an
+// out-of-range parameter, or a field the op does not take holding a
+// non-zero value. The strictness is deliberate: one operation has
+// exactly one valid Derivation value, so its canonical JSON encoding —
+// and therefore every cache key carrying it — is unique.
 func (d Derivation) Validate() error {
 	if !(d.Fraction >= 0 && d.Fraction <= 1) {
 		return fmt.Errorf("workload: derivation %s fraction %v out of [0,1]", d.Op, d.Fraction)
+	}
+	forbid := func(ok bool, field string) error {
+		if ok {
+			return nil
+		}
+		return fmt.Errorf("workload: derivation %s takes no %s", d.Op, field)
+	}
+	noScenario := func() error {
+		if err := forbid(d.Factor == 0, "factor"); err != nil {
+			return err
+		}
+		if err := forbid(d.Shift == 0, "shift"); err != nil {
+			return err
+		}
+		if err := forbid(d.Burst == 0, "burst"); err != nil {
+			return err
+		}
+		return forbid(d.Class == "", "class")
 	}
 	switch d.Op {
 	case OpMalleableFraction:
 		if d.Feature != "" {
 			return fmt.Errorf("workload: derivation %s takes no feature (got %q)", d.Op, d.Feature)
 		}
+		return noScenario()
 	case OpTagNodes, OpRequireFeature:
 		if d.Feature == "" {
 			return fmt.Errorf("workload: derivation %s requires a feature", d.Op)
 		}
+		return noScenario()
+	case OpScaleLoad:
+		if !(d.Factor > 0) || math.IsInf(d.Factor, 0) {
+			return fmt.Errorf("workload: derivation %s factor %v out of (0,+Inf)", d.Op, d.Factor)
+		}
+		if d.Fraction != 0 {
+			return fmt.Errorf("workload: derivation %s takes no fraction", d.Op)
+		}
+		if err := forbid(d.Feature == "", "feature"); err != nil {
+			return err
+		}
+		if err := forbid(d.Shift == 0, "shift"); err != nil {
+			return err
+		}
+		if err := forbid(d.Burst == 0, "burst"); err != nil {
+			return err
+		}
+		return forbid(d.Class == "", "class")
+	case OpShiftArrivals:
+		if d.Shift <= -86400 || d.Shift >= 86400 {
+			return fmt.Errorf("workload: derivation %s shift %d out of (-86400,86400)", d.Op, d.Shift)
+		}
+		if d.Burst < 0 {
+			return fmt.Errorf("workload: derivation %s burst %d negative", d.Op, d.Burst)
+		}
+		if d.Shift == 0 && d.Burst == 0 {
+			return fmt.Errorf("workload: derivation %s is a no-op (zero shift and burst)", d.Op)
+		}
+		if d.Fraction != 0 {
+			return fmt.Errorf("workload: derivation %s takes no fraction", d.Op)
+		}
+		if err := forbid(d.Feature == "", "feature"); err != nil {
+			return err
+		}
+		if err := forbid(d.Factor == 0, "factor"); err != nil {
+			return err
+		}
+		return forbid(d.Class == "", "class")
+	case OpAssignQoS:
+		if d.Class == "" {
+			return fmt.Errorf("workload: derivation %s requires a class", d.Op)
+		}
+		if err := forbid(d.Feature == "", "feature"); err != nil {
+			return err
+		}
+		if err := forbid(d.Factor == 0, "factor"); err != nil {
+			return err
+		}
+		if err := forbid(d.Shift == 0, "shift"); err != nil {
+			return err
+		}
+		return forbid(d.Burst == 0, "burst")
 	default:
 		return fmt.Errorf("workload: unknown derivation op %q", d.Op)
 	}
-	return nil
 }
 
 // apply executes the derivation on a spec that Derive has already made
@@ -107,6 +228,32 @@ func (d Derivation) apply(s *Spec) {
 				feats := make([]string, 0, len(s.Jobs[i].Features)+1)
 				feats = append(feats, s.Jobs[i].Features...)
 				s.Jobs[i].Features = append(feats, d.Feature)
+			}
+		}
+	case OpScaleLoad:
+		// Division by a positive factor preserves submit order, so the
+		// stream stays monotonic and ids keep their submit-order density.
+		for i := range s.Jobs {
+			s.Jobs[i].Submit = int64(float64(s.Jobs[i].Submit) / d.Factor)
+		}
+	case OpShiftArrivals:
+		for i := range s.Jobs {
+			t := s.Jobs[i].Submit
+			day, tod := t/86400, t%86400
+			tod = ((tod+d.Shift)%86400 + 86400) % 86400
+			t = day*86400 + tod
+			if d.Burst > 0 {
+				t = t / d.Burst * d.Burst
+			}
+			s.Jobs[i].Submit = t
+		}
+		// Rotation wraps submits across day boundaries; restore the
+		// monotonic order (and dense ids) every Spec consumer assumes.
+		SortBySubmit(s.Jobs)
+	case OpAssignQoS:
+		for i := range s.Jobs {
+			if float64(i%100) < d.Fraction*100 {
+				s.Jobs[i].Queue = d.Class
 			}
 		}
 	}
@@ -170,12 +317,16 @@ func EncodeChain(derivs []Derivation) Chain {
 	if len(derivs) == 0 {
 		return ""
 	}
+	nonFinite := func(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
 	for i := range derivs {
-		if math.IsNaN(derivs[i].Fraction) || math.IsInf(derivs[i].Fraction, 0) {
+		if nonFinite(derivs[i].Fraction) || nonFinite(derivs[i].Factor) {
 			sane := append([]Derivation(nil), derivs...)
 			for j := range sane {
-				if math.IsNaN(sane[j].Fraction) || math.IsInf(sane[j].Fraction, 0) {
+				if nonFinite(sane[j].Fraction) {
 					sane[j].Fraction = -1
+				}
+				if nonFinite(sane[j].Factor) {
+					sane[j].Factor = -1
 				}
 			}
 			derivs = sane
@@ -215,3 +366,74 @@ func (c Chain) Prepend(d Derivation) (Chain, error) {
 
 // Empty reports whether the chain has no derivations.
 func (c Chain) Empty() bool { return c == "" }
+
+// DerivationField describes one parameter of a derivation op for the
+// /v1/workloads schema listing.
+type DerivationField struct {
+	Name        string `json:"name"`
+	Type        string `json:"type"`
+	Range       string `json:"range,omitempty"`
+	Description string `json:"description,omitempty"`
+}
+
+// DerivationOpSpec describes one derivation op: its wire name and the
+// fields it takes. Fields not listed must be omitted (Validate rejects
+// them).
+type DerivationOpSpec struct {
+	Op          string            `json:"op"`
+	Description string            `json:"description"`
+	Fields      []DerivationField `json:"fields"`
+}
+
+// DerivationOps returns the full derivation-op schema in a fixed
+// order: the machine/kind ops first, then the trace-scenario ops.
+func DerivationOps() []DerivationOpSpec {
+	return []DerivationOpSpec{
+		{
+			Op:          OpMalleableFraction,
+			Description: "re-flag a fraction of the jobs malleable and the rest rigid (striped by submit order)",
+			Fields: []DerivationField{
+				{Name: "fraction", Type: "float", Range: "[0,1]", Description: "fraction of jobs made malleable"},
+			},
+		},
+		{
+			Op:          OpTagNodes,
+			Description: "attach a feature string to a fraction of the machine's nodes",
+			Fields: []DerivationField{
+				{Name: "fraction", Type: "float", Range: "[0,1]", Description: "fraction of nodes tagged"},
+				{Name: "feature", Type: "string", Description: "feature name attached to the nodes"},
+			},
+		},
+		{
+			Op:          OpRequireFeature,
+			Description: "make a fraction of the jobs require a feature on every allocated node",
+			Fields: []DerivationField{
+				{Name: "fraction", Type: "float", Range: "[0,1]", Description: "fraction of jobs constrained"},
+				{Name: "feature", Type: "string", Description: "feature the jobs require"},
+			},
+		},
+		{
+			Op:          OpScaleLoad,
+			Description: "compress (factor > 1) or stretch (factor < 1) the arrival process by dividing submit times",
+			Fields: []DerivationField{
+				{Name: "factor", Type: "float", Range: "(0,+Inf)", Description: "arrival compression ratio; 1.5 offers 1.5x the recorded load"},
+			},
+		},
+		{
+			Op:          OpShiftArrivals,
+			Description: "rotate each submit's time-of-day and optionally quantise arrivals into bursts",
+			Fields: []DerivationField{
+				{Name: "shift", Type: "int", Range: "(-86400,86400)", Description: "time-of-day rotation in seconds"},
+				{Name: "burst", Type: "int", Range: "[0,+Inf)", Description: "arrival quantum in seconds; 0 disables burst injection"},
+			},
+		},
+		{
+			Op:          OpAssignQoS,
+			Description: "tag a fraction of the jobs with a queue/QoS class name (striped by submit order)",
+			Fields: []DerivationField{
+				{Name: "fraction", Type: "float", Range: "[0,1]", Description: "fraction of jobs tagged"},
+				{Name: "class", Type: "string", Description: "queue/QoS class name"},
+			},
+		},
+	}
+}

@@ -138,9 +138,10 @@ func TestDeriveRejectsInvalidDerivations(t *testing.T) {
 	}
 }
 
-// TestDeriveMatchesInPlaceMutation: the derivation pipeline and the
-// deprecated in-place mutator must flag exactly the same jobs.
-func TestDeriveMatchesInPlaceMutation(t *testing.T) {
+// TestDeriveIsStable: deriving the same chain from a regenerated base
+// flags exactly the same jobs — the property campaign memoisation
+// relies on.
+func TestDeriveIsStable(t *testing.T) {
 	for _, name := range Names() {
 		base, err := ByName(name, 0.05, 3)
 		if err != nil {
@@ -150,13 +151,16 @@ func TestDeriveMatchesInPlaceMutation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mutated, err := ByName(name, 0.05, 3)
+		again, err := ByName(name, 0.05, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
-		SetMalleableFraction(&mutated, 0.37)
-		if !reflect.DeepEqual(derived.Jobs, mutated.Jobs) {
-			t.Fatalf("%s: derived jobs differ from in-place mutation", name)
+		rederived, err := Derive(&again, []Derivation{MalleableFraction(0.37)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(derived.Jobs, rederived.Jobs) {
+			t.Fatalf("%s: derived jobs differ between regenerated bases", name)
 		}
 	}
 }
@@ -302,5 +306,183 @@ func TestEncodeChainNonFiniteFraction(t *testing.T) {
 		if derivs[1] != TagNodes("bigmem", 0.5) {
 			t.Fatalf("fraction %v: finite sibling rewritten: %+v", f, derivs[1])
 		}
+	}
+}
+
+func TestScenarioDerivationValidate(t *testing.T) {
+	valid := []Derivation{
+		ScaleLoad(1.5),
+		ScaleLoad(0.25),
+		ShiftArrivals(3600, 0),
+		ShiftArrivals(-3600, 0),
+		ShiftArrivals(0, 60),
+		ShiftArrivals(43200, 300),
+		AssignQoS("gold", 0.5),
+		AssignQoS("gold", 0),
+	}
+	for _, d := range valid {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", d, err)
+		}
+	}
+	invalid := []Derivation{
+		ScaleLoad(0),
+		ScaleLoad(-1),
+		ScaleLoad(math.Inf(1)),
+		ScaleLoad(math.NaN()),
+		ShiftArrivals(0, 0), // no-op
+		ShiftArrivals(86400, 0),
+		ShiftArrivals(-86400, 0),
+		ShiftArrivals(60, -1),
+		AssignQoS("", 0.5),
+		AssignQoS("gold", 1.5),
+		// One op, one shape: fields another op owns must stay zero, or
+		// one operation would have several canonical encodings (and
+		// therefore several cache keys).
+		{Op: OpScaleLoad, Factor: 2, Fraction: 0.5},
+		{Op: OpScaleLoad, Factor: 2, Class: "gold"},
+		{Op: OpShiftArrivals, Shift: 60, Factor: 2},
+		{Op: OpShiftArrivals, Shift: 60, Feature: "bigmem"},
+		{Op: OpAssignQoS, Class: "gold", Fraction: 0.5, Shift: 60},
+		{Op: OpMalleableFraction, Fraction: 0.5, Factor: 2},
+		{Op: OpTagNodes, Fraction: 0.5, Feature: "bigmem", Burst: 60},
+	}
+	for _, d := range invalid {
+		if err := d.Validate(); err == nil {
+			t.Errorf("%+v accepted", d)
+		}
+	}
+}
+
+func TestScaleLoadCompressesArrivals(t *testing.T) {
+	base := WL1(0.1, 1)
+	derived, err := Derive(&base, []Derivation{ScaleLoad(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range derived.Jobs {
+		want := int64(float64(base.Jobs[i].Submit) / 2)
+		if derived.Jobs[i].Submit != want {
+			t.Fatalf("job %d submit %d, want %d", i, derived.Jobs[i].Submit, want)
+		}
+	}
+	if err := derived.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftArrivalsRotatesAndBursts(t *testing.T) {
+	base := WL1(0.1, 1)
+	derived, err := Derive(&base, []Derivation{ShiftArrivals(3600, 300)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stream must come back monotonic with dense submit-order ids —
+	// rotation wraps some submits across day boundaries.
+	if err := derived.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range derived.Jobs {
+		if j.Submit%300 != 0 {
+			t.Fatalf("job %d submit %d not on the 300s burst quantum", i, j.Submit)
+		}
+	}
+	// Every derived submit is some base submit rotated then quantised.
+	want := map[int64]int{}
+	for _, j := range base.Jobs {
+		day, tod := j.Submit/86400, (j.Submit%86400+3600)%86400
+		want[(day*86400+tod)/300*300]++
+	}
+	got := map[int64]int{}
+	for _, j := range derived.Jobs {
+		got[j.Submit]++
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("derived submits are not the rotated+quantised base submits")
+	}
+}
+
+func TestAssignQoSStripes(t *testing.T) {
+	base := WL1(0.1, 1)
+	derived, err := Derive(&base, []Derivation{AssignQoS("gold", 0.3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged := 0
+	for i, j := range derived.Jobs {
+		if j.Queue == "gold" {
+			tagged++
+		} else if j.Queue != base.Jobs[i].Queue {
+			t.Fatalf("job %d queue %q neither tagged nor untouched", i, j.Queue)
+		}
+	}
+	want := 0
+	for i := range derived.Jobs {
+		if float64(i%100) < 30 {
+			want++
+		}
+	}
+	if tagged != want {
+		t.Fatalf("tagged %d jobs, want %d", tagged, want)
+	}
+}
+
+// TestScenarioChainOrderCanonical: the chain encoding is byte-stable
+// for a given op order and distinct across orders — order is semantic,
+// so reordering must produce a different cache identity.
+func TestScenarioChainOrderCanonical(t *testing.T) {
+	a, err := NewChain(ScaleLoad(1.5), MalleableFraction(0.3), AssignQoS("gold", 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewChain(ScaleLoad(1.5), MalleableFraction(0.3), AssignQoS("gold", 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same chain encoded differently: %q vs %q", a, b)
+	}
+	c, err := NewChain(MalleableFraction(0.3), ScaleLoad(1.5), AssignQoS("gold", 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("reordered chain shares an encoding")
+	}
+	derivs, err := a.Derivations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again := EncodeChain(derivs); again != a {
+		t.Fatalf("chain not a round-trip fixpoint: %q vs %q", again, a)
+	}
+}
+
+// TestScenarioDeriveVsRecompile: deriving a scenario twice — from two
+// independently regenerated bases — must yield identical job streams,
+// byte for byte once encoded. This is what lets a derived trace
+// scenario shard and memoise across processes.
+func TestScenarioDeriveVsRecompile(t *testing.T) {
+	derivs := []Derivation{ScaleLoad(1.5), MalleableFraction(0.3), AssignQoS("gold", 0.5)}
+	b1 := WL1(0.1, 1)
+	b2 := WL1(0.1, 1)
+	d1, err := Derive(&b1, derivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Derive(&b2, derivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := json.Marshal(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(j1, j2) {
+		t.Fatal("derive is not reproducible across regenerated bases")
 	}
 }

@@ -360,22 +360,6 @@ func ByName(name string, scale float64, seed uint64) (Spec, error) {
 // Names lists the preset ids in Table 1 order.
 func Names() []string { return []string{"wl1", "wl2", "wl3", "wl4", "wl5"} }
 
-// SetMalleableFraction re-flags jobs so the given fraction (by submit
-// order striping, deterministic) is malleable and the rest rigid — the
-// mixed-workload experiments of the ablation suite.
-//
-// Deprecated: SetMalleableFraction mutates the Spec in place, which is
-// incompatible with specs shared through the generation Cache. Express
-// the variant as MalleableFraction(frac) applied via Derive instead;
-// this shim remains for callers that own a private Spec.
-func SetMalleableFraction(s *Spec, frac float64) {
-	d := MalleableFraction(frac)
-	if err := d.Validate(); err != nil {
-		panic(err.Error())
-	}
-	d.apply(s)
-}
-
 // AppCounts tallies jobs per application class, for the Table 2 report.
 func AppCounts(s *Spec) map[job.AppClass]int {
 	out := map[job.AppClass]int{}

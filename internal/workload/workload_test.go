@@ -150,9 +150,12 @@ func TestWL5AppMix(t *testing.T) {
 	}
 }
 
-func TestSetMalleableFraction(t *testing.T) {
-	spec := WL1(0.1, 1)
-	SetMalleableFraction(&spec, 0.25)
+func TestMalleableFractionDerivation(t *testing.T) {
+	base := WL1(0.1, 1)
+	spec, err := Derive(&base, []Derivation{MalleableFraction(0.25)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	mall := 0
 	for i := range spec.Jobs {
 		if spec.Jobs[i].Kind == job.Malleable {
@@ -163,12 +166,9 @@ func TestSetMalleableFraction(t *testing.T) {
 	if math.Abs(frac-0.25) > 0.05 {
 		t.Fatalf("malleable fraction %.2f, want 0.25", frac)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("bad fraction accepted")
-		}
-	}()
-	SetMalleableFraction(&spec, 1.5)
+	if _, err := Derive(&base, []Derivation{MalleableFraction(1.5)}); err == nil {
+		t.Error("bad fraction accepted")
+	}
 }
 
 func TestValidateCatchesProblems(t *testing.T) {

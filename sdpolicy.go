@@ -108,6 +108,27 @@ func RequireFeatureDerivation(feature string, frac float64) Derivation {
 	return workload.RequireFeature(feature, frac)
 }
 
+// ScaleLoadDerivation compresses (factor > 1) or stretches (factor < 1)
+// the arrival process: every submit time is divided by factor, so a
+// trace replayed with factor 1.5 offers 1.5x its recorded load.
+func ScaleLoadDerivation(factor float64) Derivation {
+	return workload.ScaleLoad(factor)
+}
+
+// ShiftArrivalsDerivation rotates each submit's time-of-day forward by
+// shift seconds (diurnal remap) and, when burst > 0, quantises submits
+// onto burst-second boundaries (burst injection).
+func ShiftArrivalsDerivation(shift, burst int64) Derivation {
+	return workload.ShiftArrivals(shift, burst)
+}
+
+// AssignQoSDerivation tags frac of the jobs (striped deterministically)
+// with the class queue name; queues carry per-queue QoS MAXSD cut-offs
+// (paper §4.1).
+func AssignQoSDerivation(class string, frac float64) Derivation {
+	return workload.AssignQoS(class, frac)
+}
+
 // Workload is a machine description plus a job stream, ready to
 // simulate. It is a handle: an immutable base Spec — shared with every
 // other handle of the same (preset, scale, seed) through a process-wide
@@ -122,14 +143,17 @@ type Workload struct {
 }
 
 // NewWorkload builds one of the paper's Table 1 workload presets
-// ("wl1".."wl5"). scale in (0, 1] shrinks the machine and the job count
-// proportionally for faster experiments; seed drives the deterministic
-// generator. Repeated calls with equal arguments share one generated
-// Spec through the process-wide generation cache — generation runs
-// once, concurrent callers coalesce — which is what makes k-variant
-// ablation campaigns cost one generation instead of k.
+// ("wl1".."wl5") or resolves a registered trace ("trace:<digest>", see
+// RegisterTrace). scale in (0, 1] shrinks a preset's machine and job
+// count proportionally for faster experiments; seed drives the
+// deterministic generator. Trace content is fully determined by the
+// digest, so scale and seed are ignored for trace refs. Repeated calls
+// with equal arguments share one generated Spec through the
+// process-wide generation cache — generation runs once, concurrent
+// callers coalesce — which is what makes k-variant ablation campaigns
+// cost one generation instead of k.
 func NewWorkload(name string, scale float64, seed uint64) (Workload, error) {
-	if scale <= 0 || scale > 1 {
+	if !workload.IsTraceRef(name) && (scale <= 0 || scale > 1) {
 		return Workload{}, fmt.Errorf("sdpolicy: scale %v out of (0,1]: %w", scale, ErrBadInput)
 	}
 	spec, err := workload.Shared.Get(name, scale, seed)

@@ -1,0 +1,207 @@
+package sdpolicy
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sdpolicy/internal/reducer"
+)
+
+// testTraceSWF is a tiny but simulatable SWF log: a 4-node machine of
+// 4-core nodes and three rigid-recorded jobs (compiled as malleable).
+const testTraceSWF = `; MaxNodes: 4
+; MaxProcs: 16
+1 0 5 100 -1 -1 -1 8 200 -1 1 -1 -1 -1 1 1 -1 -1
+2 30 -1 60 -1 -1 -1 4 90 -1 1 -1 -1 -1 1 1 -1 -1
+3 80 -1 40 -1 -1 -1 4 40 -1 1 -1 -1 -1 1 1 -1 -1
+`
+
+func registerTestTrace(t *testing.T) TraceInfo {
+	t.Helper()
+	info, err := RegisterTrace([]byte(testTraceSWF), "workloads_test.swf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestWorkloadRefValidate(t *testing.T) {
+	valid := []WorkloadRef{
+		{Name: "wl1"},
+		{Name: "wl1", Scale: 0.5, Seed: 7},
+		{Trace: "trace:ca9b6a7f62b5e8e3"},
+		{Trace: "ca9b6a7f62b5e8e3"},
+		{Name: "wl1", Derivations: []Derivation{MalleableFractionDerivation(0.5)}},
+	}
+	for _, r := range valid {
+		if err := r.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", r, err)
+		}
+	}
+	invalid := []WorkloadRef{
+		{},
+		{Name: "wl1", Trace: "trace:ca9b6a7f62b5e8e3"},
+		{Name: "trace:ca9b6a7f62b5e8e3"}, // trace refs go in the trace field
+		{Name: "wl1", Derivations: []Derivation{{Op: "shrink_jobs"}}},
+	}
+	for _, r := range invalid {
+		err := r.Validate()
+		if err == nil {
+			t.Errorf("%+v accepted", r)
+		} else if !errors.Is(err, ErrBadInput) {
+			t.Errorf("%+v: error %v is not ErrBadInput", r, err)
+		}
+	}
+}
+
+func TestWorkloadRefName(t *testing.T) {
+	if got := (WorkloadRef{Name: "wl2"}).WorkloadName(); got != "wl2" {
+		t.Fatalf("name ref: %q", got)
+	}
+	// With or without the prefix, the trace field resolves to the same
+	// canonical "trace:<digest>" name.
+	withPrefix := (WorkloadRef{Trace: "trace:abcd"}).WorkloadName()
+	without := (WorkloadRef{Trace: "abcd"}).WorkloadName()
+	if withPrefix != "trace:abcd" || without != "trace:abcd" {
+		t.Fatalf("trace refs: %q / %q", withPrefix, without)
+	}
+}
+
+// TestWorkloadRefPointSpec: materialising a ref must produce exactly
+// the point the equivalent loose spec produces — one address, one
+// cache identity, regardless of which wire shape carried it.
+func TestWorkloadRefPointSpec(t *testing.T) {
+	ref := WorkloadRef{
+		Name: "wl1", Scale: 0.25, Seed: 9,
+		Derivations: []Derivation{ScaleLoadDerivation(1.5), MalleableFractionDerivation(0.3)},
+	}
+	opt := Options{Policy: "sd", MaxSlowdown: 10}
+	loose := PointSpec{
+		Workload: "wl1", Scale: 0.25, Seed: 9,
+		Derivations: []Derivation{ScaleLoadDerivation(1.5), MalleableFractionDerivation(0.3)},
+		Options:     opt,
+	}
+	if got, want := ref.PointSpec(opt).Point(), loose.Point(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("ref point %+v != loose point %+v", got, want)
+	}
+}
+
+func TestPointSpecRejectsMixedRef(t *testing.T) {
+	ref := &WorkloadRef{Name: "wl1"}
+	for _, s := range []PointSpec{
+		{Ref: ref, Workload: "wl1"},
+		{Ref: ref, Scale: 0.5},
+		{Ref: ref, Seed: 3},
+		{Ref: ref, Derivations: []Derivation{MalleableFractionDerivation(0.5)}},
+		{Ref: &WorkloadRef{}},
+	} {
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%+v accepted", s)
+		} else if !errors.Is(err, ErrBadInput) {
+			t.Errorf("%+v: error %v is not ErrBadInput", s, err)
+		}
+	}
+	if err := (PointSpec{Ref: ref, Options: Options{Policy: "sd"}}).Validate(); err != nil {
+		t.Fatalf("pure ref spec rejected: %v", err)
+	}
+}
+
+// TestPointWorkloadRefWire: the workload_ref input shape decodes to the
+// same Point as the loose shape, and re-encoding always emits the loose
+// shape — the success bytes of every streaming surface stay frozen.
+func TestPointWorkloadRefWire(t *testing.T) {
+	looseJSON := `{"workload":"wl1","scale":0.25,"seed":9,
+		"derivations":[{"op":"scale_load","fraction":0,"factor":1.5}],
+		"options":{"policy":"sd","max_slowdown":10}}`
+	refJSON := `{"workload_ref":{"name":"wl1","scale":0.25,"seed":9,
+		"derivations":[{"op":"scale_load","fraction":0,"factor":1.5}]},
+		"options":{"policy":"sd","max_slowdown":10}}`
+	var loose, ref Point
+	if err := json.Unmarshal([]byte(looseJSON), &loose); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(refJSON), &ref); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loose, ref) {
+		t.Fatalf("wire shapes decode differently:\n%+v\n%+v", loose, ref)
+	}
+	out, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "workload_ref") {
+		t.Fatalf("encoded point leaks the input shape: %s", out)
+	}
+}
+
+// TestTracePointCanonical: a trace's content is pinned by its digest,
+// so differently-spelled generation parameters must collapse to one
+// cache identity — and therefore one simulation.
+func TestTracePointCanonical(t *testing.T) {
+	info := registerTestTrace(t)
+	opt := Options{Policy: "sd", MaxSlowdown: 10}
+	a := NewPoint(info.Ref, 0.5, 9, opt).canonical()
+	b := NewPoint(info.Ref, 1, 1, opt).canonical()
+	if a != b {
+		t.Fatalf("trace points did not canonicalise together:\n%+v\n%+v", a, b)
+	}
+	if g := NewPoint("wl1", 0.5, 9, opt).canonical(); g.Scale != 0.5 || g.Seed != 9 {
+		t.Fatalf("generator point lost its parameters: %+v", g)
+	}
+
+	// The fold is live end to end: the second spelling must be a cache
+	// hit, not a second simulation.
+	engine := NewEngine(2, 16)
+	ctx := context.Background()
+	if _, err := engine.Run(ctx, []Point{NewPoint(info.Ref, 0.5, 9, opt)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Run(ctx, []Point{NewPoint(info.Ref, 1, 1, opt)}); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := engine.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("cache: %d hits, %d misses; want 1 and 1", hits, misses)
+	}
+}
+
+func TestRealTraceExperiment(t *testing.T) {
+	info := registerTestTrace(t)
+	engine := NewEngine(2, 16)
+	out, err := engine.Experiment(context.Background(), "real_trace", reducer.Params{
+		"trace":       info.Ref,
+		"load_factor": 1.5,
+		"qos_class":   "gold",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := out.(*RealRunReport)
+	if !ok {
+		t.Fatalf("summary type %T", out)
+	}
+	if rep.Static == nil || rep.SD == nil || rep.Static.Jobs != info.Jobs {
+		t.Fatalf("report: %+v", rep)
+	}
+	if _, err := engine.Experiment(context.Background(), "real_trace", reducer.Params{}); err == nil {
+		t.Fatal("missing trace parameter accepted")
+	}
+}
+
+func TestRegisterTraceRejectsGarbage(t *testing.T) {
+	if _, err := RegisterTrace([]byte("not an swf\n"), "bad.swf"); err == nil {
+		t.Fatal("garbage registered")
+	}
+	if _, ok := TraceByRef("trace:0000000000000000"); ok {
+		t.Fatal("unknown digest resolved")
+	}
+	if _, ok := TraceByRef("wl1"); ok {
+		t.Fatal("generator name resolved as a trace")
+	}
+}
